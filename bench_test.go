@@ -1,0 +1,403 @@
+package repro
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/transform"
+	"repro/internal/tree"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// benchOptions trims the experiment grids to benchmark-friendly sizes while
+// exercising exactly the code paths of the paper's artifacts. Run the CLI
+// (cmd/dpbench) for presentation-quality grids.
+func benchOptions() experiments.Options {
+	return experiments.Options{Out: io.Discard, Quick: true, Seed: 20160626}
+}
+
+// BenchmarkFig1a regenerates Figure 1a (1D error vs scale, Prefix workload).
+func BenchmarkFig1a(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1a(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1b regenerates Figure 1b (2D error vs scale, random ranges).
+func BenchmarkFig1b(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1b(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2a regenerates Figure 2a (1D error by shape at small scale).
+func BenchmarkFig2a(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig2a(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2b regenerates Figure 2b (2D error by shape).
+func BenchmarkFig2b(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig2b(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2c regenerates Figure 2c (2D error vs domain size).
+func BenchmarkFig2c(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig2c(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3a regenerates Table 3a (1D competitive counts).
+func BenchmarkTable3a(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(opt, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3b regenerates Table 3b (2D competitive counts).
+func BenchmarkTable3b(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(opt, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinding6 regenerates the parameter-sensitivity study.
+func BenchmarkFinding6(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Finding6(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinding7 regenerates the MWEM/MWEM* ratio table.
+func BenchmarkFinding7(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Finding7(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinding8 regenerates the mean-vs-p95 winner-flip study.
+func BenchmarkFinding8(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Finding8(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinding9 regenerates the bias/variance decomposition.
+func BenchmarkFinding9(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Finding9(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinding10 regenerates the baseline comparison.
+func BenchmarkFinding10(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Finding10(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegret regenerates the Section 7.2 regret measure (1D).
+func BenchmarkRegret(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Regret(opt, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExchangeability runs the Definition 4 check across the roster.
+func BenchmarkExchangeability(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Exchangeability(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsistency runs the Definition 5 sweep across the roster.
+func BenchmarkConsistency(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Consistency(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Per-algorithm microbenchmarks (runtime of one release at the paper's
+// full 1D domain) ---
+
+func benchAlgorithm1D(b *testing.B, name string) {
+	d, err := dataset.ByName("SEARCH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x, err := d.Generate(rng, 100_000, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.Prefix(4096)
+	a, err := algo.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Run(x, w, 0.1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgoIdentity(b *testing.B) { benchAlgorithm1D(b, "IDENTITY") }
+func BenchmarkAlgoHB(b *testing.B)       { benchAlgorithm1D(b, "HB") }
+func BenchmarkAlgoPrivelet(b *testing.B) { benchAlgorithm1D(b, "PRIVELET") }
+func BenchmarkAlgoDAWA(b *testing.B)     { benchAlgorithm1D(b, "DAWA") }
+func BenchmarkAlgoMWEM(b *testing.B)     { benchAlgorithm1D(b, "MWEM") }
+func BenchmarkAlgoEFPA(b *testing.B)     { benchAlgorithm1D(b, "EFPA") }
+func BenchmarkAlgoSF(b *testing.B)       { benchAlgorithm1D(b, "SF") }
+func BenchmarkAlgoAHP(b *testing.B)      { benchAlgorithm1D(b, "AHP") }
+func BenchmarkAlgoPHP(b *testing.B)      { benchAlgorithm1D(b, "PHP") }
+
+// --- Ablation benchmarks for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationConsistency compares hierarchical estimation with and
+// without the least-squares consistency pass: it reports the mean squared
+// error of the root (total-count) query under both estimators.
+func BenchmarkAblationConsistency(b *testing.B) {
+	const n, eps = 1024, 0.1
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i % 11)
+	}
+	var trueTotal float64
+	for _, v := range data {
+		trueTotal += v
+	}
+	rng := rand.New(rand.NewSource(9))
+	var withSE, withoutSE float64
+	trials := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, err := tree.BuildInterval(n, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root.Measure(rng, data, tree.UniformLevelBudget(eps, root.Height()))
+		est := root.Infer(n)
+		var total float64
+		for _, v := range est {
+			total += v
+		}
+		withSE += (total - trueTotal) * (total - trueTotal)
+
+		// Without consistency: leaves only (identity-equivalent answer).
+		flatRoot, _ := tree.BuildInterval(n, 2)
+		budget := make([]float64, flatRoot.Height())
+		budget[len(budget)-1] = eps // all budget on leaves, no hierarchy
+		flatRoot.Measure(rng, data, budget)
+		flatEst := flatRoot.Infer(n)
+		var ftotal float64
+		for _, v := range flatEst {
+			ftotal += v
+		}
+		withoutSE += (ftotal - trueTotal) * (ftotal - trueTotal)
+		trials++
+	}
+	if trials > 0 {
+		b.ReportMetric(withSE/float64(trials), "mse-with-consistency")
+		b.ReportMetric(withoutSE/float64(trials), "mse-leaves-only")
+	}
+}
+
+// BenchmarkAblationDawaPartition compares DAWA's dyadic-restricted partition
+// DP against the unrestricted O(n^2) variant on a small domain.
+func BenchmarkAblationDawaPartition(b *testing.B) {
+	d1, _ := algo.New("DAWA")
+	d2 := &algo.DAWA{Rho: 0.25, B: 2, NoDyadicRestriction: true}
+	ds, _ := dataset.ByName("TRACE")
+	rng := rand.New(rand.NewSource(3))
+	x, err := ds.Generate(rng, 10_000, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.Prefix(256)
+	b.Run("dyadic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d1.Run(x, w, 0.1, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unrestricted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d2.Run(x, w, 0.1, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBudgetSplit sweeps the two-stage budget split rho for
+// DAWA and reports the scaled error at each setting.
+func BenchmarkAblationBudgetSplit(b *testing.B) {
+	ds, _ := dataset.ByName("MEDCOST")
+	rng := rand.New(rand.NewSource(5))
+	x, err := ds.Generate(rng, 100_000, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.Prefix(512)
+	trueAns, err := w.Evaluate(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rho := range []float64{0.1, 0.25, 0.5, 0.75} {
+		rho := rho
+		b.Run(ratioName(rho), func(b *testing.B) {
+			a := &algo.DAWA{Rho: rho, B: 2}
+			var errSum float64
+			for i := 0; i < b.N; i++ {
+				est, err := a.Run(x, w, 0.1, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				estAns := w.EvaluateFlat(est)
+				errSum += core.ScaledError(core.L2Loss(estAns, trueAns), x.Scale(), w.Size())
+			}
+			b.ReportMetric(errSum/float64(b.N)*1e6, "scaled-err-x1e6")
+		})
+	}
+}
+
+func ratioName(rho float64) string {
+	switch rho {
+	case 0.1:
+		return "rho=0.10"
+	case 0.25:
+		return "rho=0.25"
+	case 0.5:
+		return "rho=0.50"
+	default:
+		return "rho=0.75"
+	}
+}
+
+// BenchmarkAblationHilbert compares Hilbert against row-major linearization
+// for DAWA on clustered 2D data, reporting scaled error: the Hilbert curve's
+// locality should yield cheaper partitions.
+func BenchmarkAblationHilbert(b *testing.B) {
+	ds, _ := dataset.ByName("GOWALLA")
+	rng := rand.New(rand.NewSource(11))
+	x, err := ds.Generate(rng, 100_000, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.RandomRange2D(32, 32, 200, rand.New(rand.NewSource(12)))
+	trueAns, err := w.Evaluate(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dawa, _ := algo.New("DAWA")
+	b.Run("hilbert", func(b *testing.B) {
+		var errSum float64
+		for i := 0; i < b.N; i++ {
+			est, err := dawa.Run(x, w, 0.1, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			estAns := w.EvaluateFlat(est)
+			errSum += core.ScaledError(core.L2Loss(estAns, trueAns), x.Scale(), w.Size())
+		}
+		b.ReportMetric(errSum/float64(b.N)*1e6, "scaled-err-x1e6")
+	})
+	b.Run("rowmajor", func(b *testing.B) {
+		inner := &algo.DAWA{Rho: 0.25, B: 2}
+		var errSum float64
+		for i := 0; i < b.N; i++ {
+			// Row-major: flatten as 1D and run DAWA directly.
+			flat, _ := vec.FromData(append([]float64(nil), x.Data...), x.N())
+			est, err := inner.Run(flat, nil, 0.1, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			estAns := w.EvaluateFlat(est)
+			errSum += core.ScaledError(core.L2Loss(estAns, trueAns), x.Scale(), w.Size())
+		}
+		b.ReportMetric(errSum/float64(b.N)*1e6, "scaled-err-x1e6")
+	})
+}
+
+// BenchmarkGeneratorG measures the data generator's multinomial sampling at
+// the paper's largest scale.
+func BenchmarkGeneratorG(b *testing.B) {
+	d, _ := dataset.ByName("INCOME")
+	rng := rand.New(rand.NewSource(13))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Generate(rng, 100_000_000, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHilbertLinearize measures the 2D linearization at 256x256.
+func BenchmarkHilbertLinearize(b *testing.B) {
+	data := make([]float64, 256*256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := transform.HilbertLinearize(data, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

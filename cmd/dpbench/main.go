@@ -1,0 +1,74 @@
+// Command dpbench regenerates the tables and figures of "Principled
+// Evaluation of Differentially Private Algorithms using DPBench" (Hay et
+// al., SIGMOD 2016) from this repository's from-scratch implementations.
+//
+// Usage:
+//
+//	dpbench -experiment fig1a            # quick grid (seconds..minutes)
+//	dpbench -experiment tab3b -full      # the paper's full grid (slow)
+//	dpbench -experiment all
+//
+// Experiments: fig1a fig1b fig2a fig2b fig2c tab3a tab3b find6 find7 find8
+// find9 find10 regret1d regret2d exch cons all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig1a", "which paper artifact to regenerate (or 'all')")
+		full       = flag.Bool("full", false, "run the paper's full grid instead of the quick one")
+		seed       = flag.Int64("seed", 20160626, "random seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed}
+
+	runners := map[string]func() error{
+		"fig1a":    func() error { _, err := experiments.Fig1a(opt); return err },
+		"fig1b":    func() error { _, err := experiments.Fig1b(opt); return err },
+		"fig2a":    func() error { return experiments.Fig2a(opt) },
+		"fig2b":    func() error { return experiments.Fig2b(opt) },
+		"fig2c":    func() error { return experiments.Fig2c(opt) },
+		"tab3a":    func() error { _, err := experiments.Table3(opt, false); return err },
+		"tab3b":    func() error { _, err := experiments.Table3(opt, true); return err },
+		"find6":    func() error { _, err := experiments.Finding6(opt); return err },
+		"find7":    func() error { _, err := experiments.Finding7(opt); return err },
+		"find8":    func() error { _, err := experiments.Finding8(opt); return err },
+		"find9":    func() error { _, err := experiments.Finding9(opt); return err },
+		"find10":   func() error { return experiments.Finding10(opt) },
+		"regret1d": func() error { _, err := experiments.Regret(opt, false); return err },
+		"regret2d": func() error { _, err := experiments.Regret(opt, true); return err },
+		"exch":     func() error { return experiments.Exchangeability(opt) },
+		"cons":     func() error { return experiments.Consistency(opt) },
+	}
+	order := []string{"fig1a", "fig1b", "fig2a", "fig2b", "fig2c", "tab3a", "tab3b",
+		"find6", "find7", "find8", "find9", "find10", "regret1d", "regret2d", "exch", "cons"}
+
+	var names []string
+	if *experiment == "all" {
+		names = order
+	} else if _, ok := runners[*experiment]; ok {
+		names = []string{*experiment}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or 'all'\n", *experiment, order)
+		os.Exit(2)
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Principled Evaluation
+// of Differentially Private Algorithms using DPBench" (Hay, Machanavajjhala,
+// Miklau, Chen, Zhang — SIGMOD 2016).
+//
+// The library lives under internal/: the 17 mechanisms in internal/algo, the
+// DPBench framework in internal/core, the experiment harness in
+// internal/experiments, and the substrates (data vectors, noise primitives,
+// transforms, trees, workloads, datasets, statistics) in their own packages.
+// The cmd/dpbench binary regenerates every table and figure of the paper;
+// the root-level benchmarks (bench_test.go) expose the same experiments as
+// `go test -bench` targets. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,88 @@
+// Algoselect: the practitioner's algorithm-selection problem.
+//
+// Section 8's "lessons for practitioners" distilled into a runnable tool: a
+// data owner cannot pick the best mechanism by trying them all on her data
+// (that would leak), but she CAN reason from public facts — her privacy
+// budget and her dataset's scale, i.e. the signal strength eps*scale. This
+// example sweeps the signal axis on two contrasting shapes and prints which
+// regime each mechanism wins, reproducing the paper's headline storyline:
+// data-dependent algorithms dominate at low signal, data-independent ones at
+// high signal, and the crossover is where algorithm selection gets hard.
+//
+// It also demonstrates the framework's repair functions: free parameters are
+// set via the trained profiles (MWEM* vs MWEM), and side information is
+// removed via RepairSideInfo.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		domain = 512
+		eps    = 0.1
+	)
+	w := workload.Prefix(domain)
+
+	// A sparse, spiky shape (favors data-dependent mechanisms) and a dense,
+	// noisy-uniform one (favors data-independent mechanisms).
+	for _, dsName := range []string{"TRACE", "BIDS-ALL"} {
+		ds, err := dataset.ByName(dsName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== dataset %s ===\n", dsName)
+		for _, scale := range []int{1_000, 100_000, 10_000_000} {
+			signal := eps * float64(scale)
+			algos := mustAlgos("IDENTITY", "HB", "DAWA", "MWEM*", "AHP*", "UNIFORM")
+			// Principle 7: no mechanism may consume the true scale as free
+			// side information; spend 5% of budget estimating it instead.
+			core.RepairSideInfo(algos, 0.05)
+			cfg := core.Config{
+				Dataset: ds, Dims: []int{domain}, Scale: scale, Eps: eps,
+				Workload: w, Algorithms: algos,
+				DataSamples: 2, Trials: 3, Seed: 7,
+			}
+			results, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := core.BestByMean(results)
+			regime := "low signal -> expect data-dependent winners"
+			if signal >= 1e4 {
+				regime = "high signal -> expect data-independent winners"
+			}
+			fmt.Printf("signal eps*scale = %-10g (%s)\n", signal, regime)
+			for _, r := range results {
+				marker := " "
+				if r.Name == best {
+					marker = "*"
+				}
+				fmt.Printf("  %s %-9s mean %.3g\n", marker, r.Name, r.MeanError())
+			}
+		}
+	}
+	fmt.Println("\nLesson (Section 8): pick by signal strength — in high-signal regimes the")
+	fmt.Println("simple, parameter-free data-independent mechanisms (HB) are hard to beat;")
+	fmt.Println("in low-signal regimes a data-dependent mechanism like DAWA pays off, with")
+	fmt.Println("the caveat that its error varies with shape and has no public bound.")
+}
+
+func mustAlgos(names ...string) []algo.Algorithm {
+	out := make([]algo.Algorithm, 0, len(names))
+	for _, n := range names {
+		a, err := algo.New(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Quickstart: release a differentially private histogram and answer range
+// queries with it.
+//
+// A data owner holds a histogram of 50,000 records over a 1024-cell domain
+// and wants to publish range-query answers under epsilon-differential
+// privacy. This example runs three mechanisms — the IDENTITY baseline, the
+// hierarchical Hb, and the data-aware DAWA — and compares their scaled
+// per-query error on the Prefix workload, illustrating the benchmark's core
+// loop: generate data, run a mechanism, measure scaled error.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		domain = 1024
+		scale  = 50_000
+		eps    = 0.1
+	)
+
+	// 1. Draw a dataset from the benchmark's generator: the MEDCOST shape
+	//    (a skewed medical-cost histogram) resampled to 50,000 tuples.
+	ds, err := dataset.ByName("MEDCOST")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x, err := ds.Generate(rng, scale, domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d cells, %.0f tuples, %.1f%% empty cells\n",
+		ds.Name, x.N(), x.Scale(), 100*x.ZeroFraction())
+
+	// 2. The analyst's workload: all prefix range queries.
+	w := workload.Prefix(domain)
+	trueAns, err := w.Evaluate(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run three mechanisms at the same privacy budget.
+	for _, name := range []string{"IDENTITY", "HB", "DAWA"} {
+		a, err := algo.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := a.Run(x, w, eps, rand.New(rand.NewSource(7)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		estAns := w.EvaluateFlat(est)
+		errVal := core.ScaledError(core.L2Loss(estAns, trueAns), x.Scale(), w.Size())
+		fmt.Printf("%-9s scaled per-query error: %.3g\n", name, errVal)
+
+		// Answer one concrete question privately: how many records fall in
+		// the first quarter of the domain?
+		var private float64
+		for i := 0; i < domain/4; i++ {
+			private += est[i]
+		}
+		var truth float64
+		for i := 0; i < domain/4; i++ {
+			truth += x.Data[i]
+		}
+		fmt.Printf("          count in first quarter: true %.0f, private %.0f\n", truth, private)
+	}
+}

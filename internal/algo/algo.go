@@ -1,0 +1,116 @@
+// Package algo implements the 17 differentially private release mechanisms
+// evaluated by DPBench (Table 1 and Appendix B of the paper) behind a common
+// interface. Every mechanism consumes a data vector x, a workload W (used
+// only by workload-aware mechanisms), a privacy budget epsilon, and a seeded
+// RNG, and produces an estimated data vector x-hat from which any range
+// query can be answered by summation.
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Algorithm is a differentially private data-release mechanism.
+type Algorithm interface {
+	// Name returns the benchmark identifier, e.g. "DAWA" or "MWEM*".
+	Name() string
+	// Supports reports whether the mechanism handles k-dimensional data.
+	Supports(k int) bool
+	// DataDependent reports whether the mechanism's error distribution
+	// depends on the input data (Section 3.1).
+	DataDependent() bool
+	// Run releases an estimate of x under epsilon-differential privacy.
+	// The returned slice has one entry per cell of x.
+	Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error)
+}
+
+// SideInfoUser is implemented by mechanisms that consume the true scale as
+// public side information (MWEM, SF, UGrid, AGrid — Principle 7). The
+// benchmark's Rside repair wraps them so scale is estimated privately
+// instead.
+type SideInfoUser interface {
+	// SetScaleEstimator switches the mechanism from using the true scale
+	// to spending the fraction rho of its budget on a noisy estimate.
+	SetScaleEstimator(rho float64)
+}
+
+// registry maps names to constructors for the default configurations.
+var registry = map[string]func() Algorithm{}
+
+// Register adds a constructor to the global registry; it panics on duplicate
+// names (a programming error).
+func Register(name string, fn func() Algorithm) {
+	if _, dup := registry[name]; dup {
+		panic("algo: duplicate registration of " + name)
+	}
+	registry[name] = fn
+}
+
+// New returns a fresh instance of the named algorithm in its default
+// configuration.
+func New(name string) (Algorithm, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q", name)
+	}
+	return fn(), nil
+}
+
+// Names returns the sorted list of registered algorithm names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns fresh default instances of every registered algorithm that
+// supports k-dimensional data.
+func All(k int) []Algorithm {
+	var out []Algorithm
+	for _, n := range Names() {
+		a, _ := New(n)
+		if a.Supports(k) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// validate checks the common preconditions shared by all mechanisms.
+func validate(x *vec.Vector, eps float64) error {
+	if x == nil || len(x.Data) == 0 {
+		return fmt.Errorf("algo: empty data vector")
+	}
+	if eps <= 0 {
+		return fmt.Errorf("algo: non-positive epsilon %v", eps)
+	}
+	return nil
+}
+
+// clampNonNegative zeroes negative estimates in place and returns the slice.
+// Post-processing of differentially private output is privacy-free and all
+// partition/count mechanisms in the suite apply it.
+func clampNonNegative(x []float64) []float64 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x
+}
+
+// uniformSpread writes total spread evenly over cells[lo:hi) of out.
+func uniformSpread(out []float64, lo, hi int, total float64) {
+	per := total / float64(hi-lo)
+	for i := lo; i < hi; i++ {
+		out[i] = per
+	}
+}

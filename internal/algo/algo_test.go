@@ -1,0 +1,268 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// table1Names is the full algorithm roster from Table 1 of the paper (plus
+// HYBRIDTREE from Appendix B).
+var table1Names = []string{
+	"IDENTITY", "PRIVELET", "H", "HB", "GREEDY-H",
+	"UNIFORM", "MWEM", "MWEM*", "AHP", "AHP*", "DPCUBE",
+	"DAWA", "QUADTREE", "UGRID", "AGRID", "PHP", "EFPA", "SF",
+	"HYBRIDTREE",
+}
+
+func TestRegistryCoversTable1(t *testing.T) {
+	for _, name := range table1Names {
+		if _, err := New(name); err != nil {
+			t.Errorf("missing algorithm %s: %v", name, err)
+		}
+	}
+	if got := len(Names()); got != len(table1Names) {
+		t.Errorf("registry has %d algorithms, want %d: %v", got, len(table1Names), Names())
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("NOT-AN-ALGO"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Register("IDENTITY", func() Algorithm { return Identity{} })
+}
+
+// test1DVector builds a deterministic, moderately skewed 1D histogram.
+func test1DVector(n, scale int) *vec.Vector {
+	v := vec.New(n)
+	rng := rand.New(rand.NewSource(12345))
+	remaining := scale
+	for i := 0; i < n && remaining > 0; i++ {
+		c := rng.Intn(2*scale/n + 1)
+		if c > remaining {
+			c = remaining
+		}
+		v.Data[i] = float64(c)
+		remaining -= c
+	}
+	v.Data[0] += float64(remaining)
+	return v
+}
+
+// test2DVector builds a deterministic 2D histogram with clustered mass.
+func test2DVector(side, scale int) *vec.Vector {
+	v := vec.New(side, side)
+	rng := rand.New(rand.NewSource(777))
+	for k := 0; k < scale; k++ {
+		x := rng.Intn(side / 2) // mass in the left half: decidedly non-uniform
+		y := rng.Intn(side)
+		v.Data[y*side+x]++
+	}
+	return v
+}
+
+func TestAllAlgorithmsRun1D(t *testing.T) {
+	x := test1DVector(64, 5000)
+	w := workload.Prefix(64)
+	for _, a := range All(1) {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			est, err := a.Run(x, w, 0.5, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(est) != x.N() {
+				t.Fatalf("estimate has %d cells, want %d", len(est), x.N())
+			}
+			for i, v := range est {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("cell %d is %v", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestAllAlgorithmsRun2D(t *testing.T) {
+	x := test2DVector(16, 4000)
+	rng0 := rand.New(rand.NewSource(2))
+	w := workload.RandomRange2D(16, 16, 50, rng0)
+	for _, a := range All(2) {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			est, err := a.Run(x, w, 0.5, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(est) != x.N() {
+				t.Fatalf("estimate has %d cells, want %d", len(est), x.N())
+			}
+			for i, v := range est {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("cell %d is %v", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsDeterministicGivenSeed(t *testing.T) {
+	x := test1DVector(32, 1000)
+	w := workload.Prefix(32)
+	for _, a := range All(1) {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			e1, err := a.Run(x, w, 0.3, rand.New(rand.NewSource(42)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2, err := a.Run(x, w, 0.3, rand.New(rand.NewSource(42)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range e1 {
+				if e1[i] != e2[i] {
+					t.Fatalf("outputs differ at cell %d: %v vs %v", i, e1[i], e2[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsRejectBadEps(t *testing.T) {
+	x := test1DVector(16, 100)
+	w := workload.Prefix(16)
+	for _, a := range All(1) {
+		if _, err := a.Run(x, w, 0, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s accepted eps=0", a.Name())
+		}
+		if _, err := a.Run(x, w, -1, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s accepted eps<0", a.Name())
+		}
+	}
+}
+
+func TestAlgorithmsRejectEmptyVector(t *testing.T) {
+	for _, a := range All(1) {
+		if _, err := a.Run(&vec.Vector{}, nil, 1, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s accepted empty vector", a.Name())
+		}
+	}
+}
+
+func TestDimensionalitySupportMatchesTable1(t *testing.T) {
+	oneDOnly := []string{"H", "PHP", "EFPA", "SF"}
+	twoDOnly := []string{"QUADTREE", "HYBRIDTREE", "UGRID", "AGRID"}
+	for _, name := range oneDOnly {
+		a, _ := New(name)
+		if !a.Supports(1) || a.Supports(2) {
+			t.Errorf("%s: want 1D only", name)
+		}
+	}
+	for _, name := range twoDOnly {
+		a, _ := New(name)
+		if a.Supports(1) || !a.Supports(2) {
+			t.Errorf("%s: want 2D only", name)
+		}
+	}
+	for _, name := range []string{"IDENTITY", "UNIFORM", "PRIVELET", "HB", "MWEM", "AHP", "DPCUBE", "DAWA", "GREEDY-H"} {
+		a, _ := New(name)
+		if !a.Supports(1) || !a.Supports(2) {
+			t.Errorf("%s: want 1D and 2D support", name)
+		}
+	}
+}
+
+func TestDataDependenceFlagsMatchTable1(t *testing.T) {
+	independent := []string{"IDENTITY", "PRIVELET", "H", "HB", "GREEDY-H"}
+	for _, name := range independent {
+		a, _ := New(name)
+		if a.DataDependent() {
+			t.Errorf("%s should be data-independent", name)
+		}
+	}
+	dependent := []string{"UNIFORM", "MWEM", "MWEM*", "AHP", "AHP*", "DPCUBE", "DAWA", "QUADTREE", "UGRID", "AGRID", "PHP", "EFPA", "SF", "HYBRIDTREE"}
+	for _, name := range dependent {
+		a, _ := New(name)
+		if !a.DataDependent() {
+			t.Errorf("%s should be data-dependent", name)
+		}
+	}
+}
+
+func TestSideInfoUsersImplementInterface(t *testing.T) {
+	// Section 6.4: SF, MWEM, UGRID, AGRID assume the true scale is known.
+	for _, name := range []string{"SF", "MWEM", "UGRID", "AGRID"} {
+		a, _ := New(name)
+		if _, ok := a.(SideInfoUser); !ok {
+			t.Errorf("%s should implement SideInfoUser", name)
+		}
+	}
+}
+
+// scaledPrefixError is a test helper computing Definition 3's error.
+func scaledPrefixError(t *testing.T, est []float64, x *vec.Vector, w *workload.Workload) float64 {
+	t.Helper()
+	trueAns, err := w.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estAns := w.EvaluateFlat(est)
+	return vec.L2Distance(estAns, trueAns) / (x.Scale() * float64(w.Size()))
+}
+
+func TestHighBudgetDrivesConsistentAlgorithmsToZeroError(t *testing.T) {
+	// Definition 5: consistent algorithms' error vanishes as eps grows.
+	// Table 1 marks these as consistent (SF with the Sec-6.2 modification).
+	consistent := []string{"IDENTITY", "PRIVELET", "H", "HB", "GREEDY-H", "DAWA", "AHP", "DPCUBE", "EFPA", "SF"}
+	x := test1DVector(64, 10_000)
+	w := workload.Prefix(64)
+	for _, name := range consistent {
+		a, _ := New(name)
+		rng := rand.New(rand.NewSource(7))
+		est, err := a.Run(x, w, 1e7, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e := scaledPrefixError(t, est, x, w); e > 1e-4 {
+			t.Errorf("%s: scaled error %v at eps=1e7, want ~0 (consistency)", name, e)
+		}
+	}
+}
+
+func TestInconsistentAlgorithmsKeepBias(t *testing.T) {
+	// UNIFORM and MWEM (fixed T) are provably inconsistent: error persists
+	// even at enormous eps on a non-uniform dataset.
+	x := test1DVector(64, 10_000)
+	// Make it decidedly non-uniform.
+	for i := range x.Data {
+		x.Data[i] = 0
+	}
+	x.Data[0] = 10_000
+	w := workload.Prefix(64)
+	for _, name := range []string{"UNIFORM"} {
+		a, _ := New(name)
+		rng := rand.New(rand.NewSource(8))
+		est, err := a.Run(x, w, 1e7, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := scaledPrefixError(t, est, x, w); e < 1e-4 {
+			t.Errorf("%s: scaled error %v at eps=1e7; expected persistent bias", name, e)
+		}
+	}
+}

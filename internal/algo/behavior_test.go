@@ -1,0 +1,609 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+func TestIdentityIsUnbiased(t *testing.T) {
+	// Principle 9 / Finding 9: the Laplace mechanism is unbiased, so the
+	// mean of many runs converges to the true counts.
+	x, _ := vec.FromData([]float64{10, 20, 30, 40}, 4)
+	a := Identity{}
+	const trials = 5000
+	sums := make([]float64, 4)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < trials; trial++ {
+		est, err := a.Run(x, nil, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range est {
+			sums[i] += v
+		}
+	}
+	for i := range sums {
+		mean := sums[i] / trials
+		if math.Abs(mean-x.Data[i]) > 0.2 {
+			t.Fatalf("cell %d mean %v, want %v", i, mean, x.Data[i])
+		}
+	}
+}
+
+func TestIdentityNoiseVariance(t *testing.T) {
+	// Var(Laplace(1/eps)) = 2/eps^2.
+	x := vec.New(1)
+	a := Identity{}
+	eps := 0.5
+	const trials = 50_000
+	var sumSq float64
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < trials; trial++ {
+		est, _ := a.Run(x, nil, eps, rng)
+		sumSq += est[0] * est[0]
+	}
+	got := sumSq / trials
+	want := 2 / (eps * eps)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("noise variance %v, want %v", got, want)
+	}
+}
+
+func TestUniformOutputIsFlat(t *testing.T) {
+	x, _ := vec.FromData([]float64{100, 0, 0, 0}, 4)
+	a := Uniform{}
+	est, err := a.Run(x, nil, 1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(est); i++ {
+		if est[i] != est[0] {
+			t.Fatal("UNIFORM output is not flat")
+		}
+	}
+	if est[0] < 0 {
+		t.Fatal("UNIFORM output negative after clamping")
+	}
+}
+
+func TestUniformNearExactOnUniformData(t *testing.T) {
+	// On truly uniform data UNIFORM at high eps should be nearly exact —
+	// the one regime where the baseline is unbeatable (Section 5.4).
+	n := 128
+	x := vec.New(n)
+	for i := range x.Data {
+		x.Data[i] = 50
+	}
+	a := Uniform{}
+	est, _ := a.Run(x, nil, 1e6, rand.New(rand.NewSource(4)))
+	for i := range est {
+		if math.Abs(est[i]-50) > 0.01 {
+			t.Fatalf("cell %d = %v, want ~50", i, est[i])
+		}
+	}
+}
+
+func TestPriveletExactAtHugeBudget(t *testing.T) {
+	x := test1DVector(128, 4000)
+	a := Privelet{}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-3 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestPriveletNonPow2Domain(t *testing.T) {
+	x := test1DVector(100, 1000) // padded internally to 128
+	a := Privelet{}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 100 {
+		t.Fatalf("len = %d, want 100", len(est))
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-3 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestPrivelet2DExactAtHugeBudget(t *testing.T) {
+	x := test2DVector(16, 2000)
+	a := Privelet{}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-3 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestHierarchyBeatsIdentityOnPrefix(t *testing.T) {
+	// The core motivation for hierarchical aggregation (Section 3.1): on a
+	// large domain, H/Hb answer long range queries with far less error.
+	const (
+		n      = 1024
+		eps    = 0.1
+		trials = 10
+	)
+	x := test1DVector(n, 100_000)
+	w := workload.Prefix(n)
+	errOf := func(a Algorithm) float64 {
+		var total float64
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(100 + trial)))
+			est, err := a.Run(x, w, eps, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += scaledPrefixError(t, est, x, w)
+		}
+		return total / trials
+	}
+	idErr := errOf(Identity{})
+	hErr := errOf(&H{B: 2})
+	hbErr := errOf(Hb{})
+	if hErr >= idErr {
+		t.Fatalf("H error %v not below IDENTITY %v on Prefix(1024)", hErr, idErr)
+	}
+	if hbErr >= idErr {
+		t.Fatalf("HB error %v not below IDENTITY %v on Prefix(1024)", hbErr, idErr)
+	}
+}
+
+func TestOptimalBranching(t *testing.T) {
+	if b := OptimalBranching(2, 1); b != 2 {
+		t.Fatalf("n=2: b=%d", b)
+	}
+	// Larger domains favor branching factors well above 2 (Qardaji et al.).
+	if b := OptimalBranching(4096, 1); b <= 2 {
+		t.Fatalf("n=4096: b=%d, want > 2", b)
+	}
+	// The returned b never exceeds the domain.
+	if b := OptimalBranching(10, 1); b > 10 {
+		t.Fatalf("b=%d > n", b)
+	}
+}
+
+func TestGreedyHWeightsFavorUsedLevels(t *testing.T) {
+	// For the Prefix workload every level is exercised; the root level is in
+	// nearly every decomposition of long prefixes.
+	w := workload.Prefix(64)
+	weights := CanonicalLevelWeights(64, 2, w)
+	if weights == nil {
+		t.Fatal("nil weights for a valid 1D workload")
+	}
+	var total float64
+	for _, v := range weights {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("all-zero canonical weights")
+	}
+	// Sanity: decomposing all 64 prefixes uses at most 2*log(n) nodes each.
+	if total > float64(64*2*7) {
+		t.Fatalf("total canonical nodes %v too large", total)
+	}
+}
+
+func TestCanonicalLevelWeightsNilCases(t *testing.T) {
+	if w := CanonicalLevelWeights(64, 2, nil); w != nil {
+		t.Fatal("want nil for nil workload")
+	}
+	w2 := workload.Prefix(32) // wrong domain
+	if w := CanonicalLevelWeights(64, 2, w2); w != nil {
+		t.Fatal("want nil for mismatched domain")
+	}
+}
+
+func TestMWEMRespectsRoundBudget(t *testing.T) {
+	// More rounds at high signal should (weakly) improve accuracy; at the
+	// least, both settings must produce valid estimates with total ~ scale.
+	x := test1DVector(64, 50_000)
+	w := workload.Prefix(64)
+	for _, T := range []int{2, 10, 30} {
+		a := &MWEM{T: T, UpdateSweeps: 2}
+		est, err := a.Run(x, w, 1.0, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, v := range est {
+			if v < 0 {
+				t.Fatalf("T=%d: negative mass %v", T, v)
+			}
+			total += v
+		}
+		if math.Abs(total-50_000) > 1 {
+			t.Fatalf("T=%d: total %v, want 50000 (MW renormalizes to scale)", T, total)
+		}
+	}
+}
+
+func TestMWEMStarUsesNoisyScale(t *testing.T) {
+	// MWEM* spends 5% of budget estimating scale, so its total deviates
+	// slightly from the truth but stays positive.
+	x := test1DVector(64, 10_000)
+	w := workload.Prefix(64)
+	a, _ := New("MWEM*")
+	est, err := a.Run(x, w, 0.1, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatalf("total = %v", total)
+	}
+	if math.Abs(total-10_000) > 5_000 {
+		t.Fatalf("noisy-scale total %v implausibly far from 10000", total)
+	}
+}
+
+func TestDefaultTProfileMonotone(t *testing.T) {
+	prev := 0
+	for _, p := range []float64{10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8} {
+		cur := DefaultTProfile(p)
+		if cur < prev {
+			t.Fatalf("T profile not monotone at product %v: %d < %d", p, cur, prev)
+		}
+		prev = cur
+	}
+	if DefaultTProfile(10) < 1 || DefaultTProfile(1e9) > 200 {
+		t.Fatal("T outside the paper's [1,200] range")
+	}
+}
+
+func TestAHPClustersUniformRegions(t *testing.T) {
+	// A two-level step function should be recovered well by AHP at decent
+	// budget: cluster + fresh counts has far less noise than per-cell.
+	n := 128
+	x := vec.New(n)
+	for i := 0; i < n/2; i++ {
+		x.Data[i] = 1000
+	}
+	a := &AHP{Rho: 0.5, Eta: 0.35}
+	est, err := a.Run(x, nil, 1.0, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean over the two halves should be clearly separated.
+	var left, right float64
+	for i := 0; i < n/2; i++ {
+		left += est[i]
+		right += est[i+n/2]
+	}
+	if left <= right*5 {
+		t.Fatalf("AHP failed to separate the step: left=%v right=%v", left, right)
+	}
+}
+
+func TestGreedyClusterGrouping(t *testing.T) {
+	vals := []float64{0, 0.1, 0.2, 10, 10.1, 20}
+	order := []int{0, 1, 2, 3, 4, 5}
+	clusters := greedyCluster(vals, order, 0.5) // spread tolerance 1.0
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3: %v", len(clusters), clusters)
+	}
+}
+
+func TestDAWARecoversPiecewiseConstant(t *testing.T) {
+	// DAWA's partition should find the two constant pieces and beat
+	// IDENTITY comfortably on this shape.
+	n := 256
+	x := vec.New(n)
+	for i := 0; i < n/2; i++ {
+		x.Data[i] = 400
+	}
+	for i := n / 2; i < n; i++ {
+		x.Data[i] = 4
+	}
+	w := workload.Prefix(n)
+	var dawaErr, idErr float64
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 40)))
+		d, _ := New("DAWA")
+		est, err := d.Run(x, w, 0.05, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dawaErr += scaledPrefixError(t, est, x, w)
+		rng2 := rand.New(rand.NewSource(int64(trial + 40)))
+		est2, _ := Identity{}.Run(x, w, 0.05, rng2)
+		idErr += scaledPrefixError(t, est2, x, w)
+	}
+	if dawaErr >= idErr {
+		t.Fatalf("DAWA %v not below IDENTITY %v on piecewise-constant data", dawaErr/trials, idErr/trials)
+	}
+}
+
+func TestDAWAPartitionCoversDomain(t *testing.T) {
+	d := &DAWA{Rho: 0.25, B: 2}
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i % 8)
+	}
+	bounds := d.partition(data, 0.5, 0.5, rand.New(rand.NewSource(12)))
+	if bounds[0] != 0 || bounds[len(bounds)-1] != 64 {
+		t.Fatalf("bounds do not span domain: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", bounds)
+		}
+	}
+}
+
+func TestDAWA2DRequiresSquare(t *testing.T) {
+	x := vec.New(8, 16)
+	d, _ := New("DAWA")
+	if _, err := d.Run(x, nil, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for non-square 2D domain")
+	}
+}
+
+func TestQuadTreeTruncationBias(t *testing.T) {
+	// With a tight height cap, leaves aggregate many cells; on highly
+	// non-uniform data the uniformity spread leaves visible bias even at
+	// huge budget (Theorem 5).
+	x := test2DVector(16, 10_000)
+	a := &QuadTree{MaxHeight: 2}
+	est, err := a.Run(x, nil, 1e8, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := range est {
+		d := est[i] - x.Data[i]
+		mse += d * d
+	}
+	if mse < 1 {
+		t.Fatalf("truncated quadtree suspiciously exact (mse=%v); bias expected", mse)
+	}
+	// Full-height quadtree is consistent: near exact at huge budget.
+	b := &QuadTree{MaxHeight: 10}
+	est2, err := b.Run(x, nil, 1e8, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est2 {
+		if math.Abs(est2[i]-x.Data[i]) > 0.01 {
+			t.Fatalf("full quadtree cell %d: %v want %v", i, est2[i], x.Data[i])
+		}
+	}
+}
+
+func TestHybridTreeRuns(t *testing.T) {
+	x := test2DVector(16, 5000)
+	a, _ := New("HYBRIDTREE")
+	est, err := a.Run(x, nil, 0.5, rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	// Root-level measurement keeps the total in the right ballpark.
+	if math.Abs(total-5000) > 2500 {
+		t.Fatalf("total %v far from 5000", total)
+	}
+}
+
+func TestUGridSizeRule(t *testing.T) {
+	if m := gridSize(1e6, 1.0, 10, 1000); m != 316 {
+		t.Fatalf("gridSize = %d, want 316 (sqrt(1e6*1/10))", m)
+	}
+	if m := gridSize(100, 0.01, 10, 64); m != 1 {
+		t.Fatalf("tiny signal grid = %d, want 1", m)
+	}
+	if m := gridSize(1e12, 1, 10, 64); m != 64 {
+		t.Fatalf("grid clamped = %d, want 64", m)
+	}
+}
+
+func TestGridBounds(t *testing.T) {
+	b := gridBounds(10, 3)
+	want := []int{0, 3, 6, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	if got := gridBounds(4, 10); len(got) != 5 {
+		t.Fatalf("m>n bounds = %v", got)
+	}
+}
+
+func TestUGridUniformWithinCells(t *testing.T) {
+	x := test2DVector(16, 100_000)
+	a := &UGrid{C: 10}
+	est, err := a.Run(x, nil, 0.001, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny eps*scale the grid is coarse; output must be blocky
+	// (few distinct values).
+	distinct := map[float64]bool{}
+	for _, v := range est {
+		distinct[v] = true
+	}
+	if len(distinct) > 64 {
+		t.Fatalf("%d distinct values; expected coarse blocks", len(distinct))
+	}
+}
+
+func TestAGridTotalsTracksLevel1(t *testing.T) {
+	x := test2DVector(32, 200_000)
+	a := &AGrid{C: 10, C2: 5, Rho: 0.5}
+	est, err := a.Run(x, nil, 0.5, rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	if math.Abs(total-200_000) > 20_000 {
+		t.Fatalf("total %v far from 200000", total)
+	}
+}
+
+func TestPHPBudgetSplit(t *testing.T) {
+	x := test1DVector(64, 10_000)
+	a := &PHP{Rho: 0.5}
+	est, err := a.Run(x, nil, 1.0, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		if v < 0 {
+			t.Fatal("negative bucket estimate after clamping")
+		}
+		total += v
+	}
+	if math.Abs(total-10_000) > 2000 {
+		t.Fatalf("total %v far from 10000", total)
+	}
+}
+
+func TestEFPAKeepsAllCoefficientsAtHugeBudget(t *testing.T) {
+	// Theorem 2: as eps grows EFPA retains every coefficient (k = n) and
+	// the reconstruction becomes exact.
+	x := test1DVector(64, 5000)
+	a := EFPA{}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-2 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestEFPACompressesSmoothData(t *testing.T) {
+	// A slowly varying signal is compressible: retaining a few Fourier
+	// coefficients reconstructs the cells far better than per-cell Laplace
+	// noise. (On the Prefix workload the advantage narrows because EFPA's
+	// residual error is coherent across cells, so the comparison here is
+	// cell-level L2, i.e. the Identity workload.)
+	n := 256
+	x := vec.New(n)
+	for i := range x.Data {
+		x.Data[i] = 500 * (1 + math.Sin(2*math.Pi*float64(i)/float64(n)))
+	}
+	cellRMSE := func(est []float64) float64 {
+		var mse float64
+		for i := range est {
+			d := est[i] - x.Data[i]
+			mse += d * d
+		}
+		return math.Sqrt(mse / float64(n))
+	}
+	var efpaErr, idErr []float64
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 60)))
+		est, err := EFPA{}.Run(x, nil, 0.01, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		efpaErr = append(efpaErr, cellRMSE(est))
+		rng2 := rand.New(rand.NewSource(int64(trial + 60)))
+		est2, _ := Identity{}.Run(x, nil, 0.01, rng2)
+		idErr = append(idErr, cellRMSE(est2))
+	}
+	if stats.Mean(efpaErr) >= stats.Mean(idErr)/2 {
+		t.Fatalf("EFPA cell RMSE %v not clearly below IDENTITY %v on smooth data", stats.Mean(efpaErr), stats.Mean(idErr))
+	}
+}
+
+func TestSFBucketCount(t *testing.T) {
+	s := &SF{Rho: 0.5, BucketDivisor: 10}
+	data := make([]float64, 100)
+	bounds := s.selectBoundaries(data, 10, 1.0, 100, rand.New(rand.NewSource(19)))
+	if len(bounds) != 11 {
+		t.Fatalf("%d boundaries, want 11 (k=10 buckets)", len(bounds))
+	}
+	if bounds[0] != 0 || bounds[10] != 100 {
+		t.Fatalf("bounds endpoints wrong: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing: %v", bounds)
+		}
+	}
+}
+
+func TestSFConsistentWithHierarchicalModification(t *testing.T) {
+	x := test1DVector(64, 10_000)
+	a := &SF{Rho: 0.5, BucketDivisor: 10, Hierarchical: true}
+	est, err := a.Run(x, nil, 1e8, rand.New(rand.NewSource(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 0.01 {
+			t.Fatalf("cell %d: %v want %v (SF with modification is consistent)", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestSFInconsistentWithoutModification(t *testing.T) {
+	// Without the in-bucket hierarchy, buckets spread uniformly and a
+	// strictly increasing dataset keeps bias at any budget (Theorem 7).
+	n := 64
+	x := vec.New(n)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	a := &SF{Rho: 0.5, BucketDivisor: 10, Hierarchical: false}
+	est, err := a.Run(x, nil, 1e8, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := range est {
+		d := est[i] - x.Data[i]
+		mse += d * d
+	}
+	if mse < 1 {
+		t.Fatalf("unmodified SF suspiciously exact (mse=%v); bias expected", mse)
+	}
+}
+
+func TestDPCubeTwoPhaseEstimate(t *testing.T) {
+	x := test1DVector(128, 50_000)
+	a := &DPCube{Rho: 0.5, MinCells: 10}
+	est, err := a.Run(x, nil, 1.0, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	if math.Abs(total-50_000) > 10_000 {
+		t.Fatalf("total %v far from 50000", total)
+	}
+}

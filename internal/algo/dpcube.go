@@ -1,0 +1,239 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/noise"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// DPCube is the multidimensional partitioning algorithm of Xiao et al.
+// (Transactions on Data Privacy 2014). It first obtains noisy counts for
+// every cell with a rho fraction of the budget, builds a kd-tree over the
+// noisy counts (splitting along the wider dimension at the noisy-mass
+// median until partitions are nearly uniform or smaller than MinCells),
+// obtains fresh noisy counts for the partitions with the remaining budget,
+// and combines the two estimates per cell by precision weighting.
+type DPCube struct {
+	// Rho is the budget fraction for the initial cell counts (paper: 0.5).
+	Rho float64
+	// MinCells stops kd-tree splits below this partition size (paper's
+	// n_p = 10).
+	MinCells int
+}
+
+func init() { Register("DPCUBE", func() Algorithm { return &DPCube{Rho: 0.5, MinCells: 10} }) }
+
+// Name implements Algorithm.
+func (d *DPCube) Name() string { return "DPCUBE" }
+
+// Supports implements Algorithm.
+func (d *DPCube) Supports(k int) bool { return k == 1 || k == 2 }
+
+// DataDependent implements Algorithm.
+func (d *DPCube) DataDependent() bool { return true }
+
+// Run implements Algorithm.
+func (d *DPCube) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	rho := d.Rho
+	if rho <= 0 || rho >= 1 {
+		rho = 0.5
+	}
+	minCells := d.MinCells
+	if minCells < 1 {
+		minCells = 10
+	}
+	eps1 := rho * eps
+	eps2 := (1 - rho) * eps
+	n := x.N()
+
+	noisy := noise.LaplaceVec(rng, x.Data, 1/eps1)
+
+	// kd-tree over the noisy counts (pure post-processing of DP output).
+	var parts [][]int
+	switch x.K() {
+	case 1:
+		parts = kdSplit1D(noisy, 0, n, minCells, 1/eps1)
+	case 2:
+		parts = kdSplit2D(noisy, x.Dims[1], kdRect{0, 0, x.Dims[1], x.Dims[0]}, minCells, 1/eps1)
+	}
+
+	// Fresh counts for partitions; precision-weighted merge with the
+	// per-cell noisy estimates. Partition estimates spread uniformly carry
+	// variance 2/(eps2^2 * |p|^2) per cell (ignoring uniformity bias);
+	// per-cell estimates carry 2/eps1^2.
+	out := make([]float64, n)
+	cellVar := 2 / (eps1 * eps1)
+	for _, p := range parts {
+		var trueTotal float64
+		for _, cell := range p {
+			trueTotal += x.Data[cell]
+		}
+		est := trueTotal + noise.Laplace(rng, 1/eps2)
+		size := float64(len(p))
+		partPerCell := est / size
+		partVar := 2 / (eps2 * eps2 * size * size)
+		wPart := cellVar / (cellVar + partVar)
+		for _, cell := range p {
+			out[cell] = wPart*partPerCell + (1-wPart)*noisy[cell]
+		}
+	}
+	return out, nil
+}
+
+// kdSplit1D recursively partitions [lo, hi) of the noisy histogram, splitting
+// at the mass median while the interval looks non-uniform relative to the
+// noise level.
+func kdSplit1D(noisy []float64, lo, hi, minCells int, noiseUnit float64) [][]int {
+	if hi-lo <= 1 || stopSplitting(noisy[lo:hi], minCells, noiseUnit) {
+		cells := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			cells = append(cells, i)
+		}
+		return [][]int{cells}
+	}
+	mid := massMedian(noisy, lo, hi)
+	if mid <= lo || mid >= hi {
+		mid = (lo + hi) / 2
+	}
+	return append(kdSplit1D(noisy, lo, mid, minCells, noiseUnit),
+		kdSplit1D(noisy, mid, hi, minCells, noiseUnit)...)
+}
+
+type kdRect struct{ x0, y0, x1, y1 int }
+
+func (r kdRect) cells(nx int) []int {
+	out := make([]int, 0, (r.x1-r.x0)*(r.y1-r.y0))
+	for y := r.y0; y < r.y1; y++ {
+		for x := r.x0; x < r.x1; x++ {
+			out = append(out, y*nx+x)
+		}
+	}
+	return out
+}
+
+func kdSplit2D(noisy []float64, nx int, r kdRect, minCells int, noiseUnit float64) [][]int {
+	cells := r.cells(nx)
+	if len(cells) <= 1 {
+		return [][]int{cells}
+	}
+	vals := make([]float64, len(cells))
+	for i, c := range cells {
+		vals[i] = noisy[c]
+	}
+	if stopSplitting(vals, minCells, noiseUnit) {
+		return [][]int{cells}
+	}
+	// Split the wider dimension at its marginal-mass median.
+	w, h := r.x1-r.x0, r.y1-r.y0
+	if w >= h && w > 1 {
+		marg := make([]float64, w)
+		for y := r.y0; y < r.y1; y++ {
+			for x := r.x0; x < r.x1; x++ {
+				marg[x-r.x0] += noisy[y*nx+x]
+			}
+		}
+		cut := r.x0 + marginalMedian(marg)
+		if cut <= r.x0 || cut >= r.x1 {
+			cut = (r.x0 + r.x1) / 2
+		}
+		return append(kdSplit2D(noisy, nx, kdRect{r.x0, r.y0, cut, r.y1}, minCells, noiseUnit),
+			kdSplit2D(noisy, nx, kdRect{cut, r.y0, r.x1, r.y1}, minCells, noiseUnit)...)
+	}
+	if h > 1 {
+		marg := make([]float64, h)
+		for y := r.y0; y < r.y1; y++ {
+			for x := r.x0; x < r.x1; x++ {
+				marg[y-r.y0] += noisy[y*nx+x]
+			}
+		}
+		cut := r.y0 + marginalMedian(marg)
+		if cut <= r.y0 || cut >= r.y1 {
+			cut = (r.y0 + r.y1) / 2
+		}
+		return append(kdSplit2D(noisy, nx, kdRect{r.x0, r.y0, r.x1, cut}, minCells, noiseUnit),
+			kdSplit2D(noisy, nx, kdRect{r.x0, cut, r.x1, r.y1}, minCells, noiseUnit)...)
+	}
+	return [][]int{cells}
+}
+
+// stopSplitting reports whether a partition should become a leaf: its value
+// spread is small relative to the Laplace noise (so splitting cannot pay
+// off), with a stricter bar below the MinCells size so small partitions only
+// keep splitting when the non-uniformity clearly exceeds the noise floor. As
+// the budget grows the noise unit vanishes and any real non-uniformity keeps
+// splitting, which is what makes DPCube consistent (Theorem 3).
+func stopSplitting(vals []float64, minCells int, noiseUnit float64) bool {
+	if len(vals) <= 1 {
+		return true
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	threshold := 4 * noiseUnit
+	if len(vals) <= minCells {
+		threshold = 8 * noiseUnit
+	}
+	return hi-lo <= threshold
+}
+
+// massMedian returns the index m in (lo, hi) splitting the positive mass of
+// noisy[lo:hi] roughly in half.
+func massMedian(noisy []float64, lo, hi int) int {
+	var total float64
+	for i := lo; i < hi; i++ {
+		if noisy[i] > 0 {
+			total += noisy[i]
+		}
+	}
+	if total <= 0 {
+		return (lo + hi) / 2
+	}
+	var run float64
+	for i := lo; i < hi; i++ {
+		if noisy[i] > 0 {
+			run += noisy[i]
+		}
+		if run >= total/2 {
+			return i + 1
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// marginalMedian returns the split offset (1..len-1) halving the positive
+// mass of a marginal.
+func marginalMedian(marg []float64) int {
+	var total float64
+	for _, v := range marg {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return len(marg) / 2
+	}
+	var run float64
+	for i, v := range marg {
+		if v > 0 {
+			run += v
+		}
+		if run >= total/2 {
+			if i+1 >= len(marg) {
+				return len(marg) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(marg) / 2
+}

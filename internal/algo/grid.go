@@ -1,0 +1,277 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/noise"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// UGrid is the uniform grid method of Qardaji, Yang and Li (ICDE 2013): it
+// partitions the 2D domain into an m x m equi-width grid with
+// m = sqrt(N*eps/c) (c = 10), obtains a Laplace count per grid cell with the
+// full budget, and assumes uniformity within grid cells. The grid size
+// depends on the dataset scale N, which the original algorithm treats as
+// public side information; SetScaleEstimator switches to a private estimate.
+type UGrid struct {
+	// C is the constant in the grid-size rule (paper: 10).
+	C float64
+	// ScaleRho, when positive, spends this budget fraction estimating N.
+	ScaleRho float64
+}
+
+func init() { Register("UGRID", func() Algorithm { return &UGrid{C: 10} }) }
+
+// Name implements Algorithm.
+func (u *UGrid) Name() string { return "UGRID" }
+
+// Supports implements Algorithm; UGrid is 2D only (Table 1).
+func (u *UGrid) Supports(k int) bool { return k == 2 }
+
+// DataDependent implements Algorithm.
+func (u *UGrid) DataDependent() bool { return true }
+
+// SetScaleEstimator implements SideInfoUser.
+func (u *UGrid) SetScaleEstimator(rho float64) { u.ScaleRho = rho }
+
+// Run implements Algorithm.
+func (u *UGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	if x.K() != 2 {
+		return nil, fmt.Errorf("ugrid: 2D only, got %dD", x.K())
+	}
+	c := u.C
+	if c <= 0 {
+		c = 10
+	}
+	epsLeft := eps
+	scale := x.Scale()
+	if u.ScaleRho > 0 {
+		epsScale := eps * u.ScaleRho
+		scale += noise.Laplace(rng, 1/epsScale)
+		if scale < 1 {
+			scale = 1
+		}
+		epsLeft -= epsScale
+	}
+	ny, nx := x.Dims[0], x.Dims[1]
+	m := gridSize(scale, epsLeft, c, minInt(nx, ny))
+	out := make([]float64, x.N())
+	measureGrid(rng, x.Data, nx, ny, 0, 0, nx, ny, m, m, epsLeft, out)
+	return out, nil
+}
+
+// AGrid is the adaptive grid of the same paper: a coarse first-level grid
+// (m1 x m1 with m1 = max(10, sqrt(N*eps/c)/2)), then within each coarse cell
+// a second-level grid sized from the cell's noisy count
+// (m2 = sqrt(n'*eps2/c2), c2 = 5), with the budget split by Rho. Level-two
+// counts are reconciled with the level-one count of their parent cell by
+// scaling, a lightweight form of the paper's consistency step.
+type AGrid struct {
+	// C and C2 are the grid-size constants (paper: 10 and 5).
+	C, C2 float64
+	// Rho is the budget fraction for the first level (paper: 0.5).
+	Rho float64
+	// ScaleRho, when positive, spends this budget fraction estimating N.
+	ScaleRho float64
+}
+
+func init() { Register("AGRID", func() Algorithm { return &AGrid{C: 10, C2: 5, Rho: 0.5} }) }
+
+// Name implements Algorithm.
+func (a *AGrid) Name() string { return "AGRID" }
+
+// Supports implements Algorithm.
+func (a *AGrid) Supports(k int) bool { return k == 2 }
+
+// DataDependent implements Algorithm.
+func (a *AGrid) DataDependent() bool { return true }
+
+// SetScaleEstimator implements SideInfoUser.
+func (a *AGrid) SetScaleEstimator(rho float64) { a.ScaleRho = rho }
+
+// Run implements Algorithm.
+func (a *AGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	if x.K() != 2 {
+		return nil, fmt.Errorf("agrid: 2D only, got %dD", x.K())
+	}
+	c, c2 := a.C, a.C2
+	if c <= 0 {
+		c = 10
+	}
+	if c2 <= 0 {
+		c2 = 5
+	}
+	rho := a.Rho
+	if rho <= 0 || rho >= 1 {
+		rho = 0.5
+	}
+	epsLeft := eps
+	scale := x.Scale()
+	if a.ScaleRho > 0 {
+		epsScale := eps * a.ScaleRho
+		scale += noise.Laplace(rng, 1/epsScale)
+		if scale < 1 {
+			scale = 1
+		}
+		epsLeft -= epsScale
+	}
+	eps1 := rho * epsLeft
+	eps2 := (1 - rho) * epsLeft
+	ny, nx := x.Dims[0], x.Dims[1]
+
+	m1 := int(math.Max(10, math.Sqrt(scale*epsLeft/c)/2))
+	m1 = clampInt(m1, 1, minInt(nx, ny))
+
+	out := make([]float64, x.N())
+	xBounds := gridBounds(nx, m1)
+	yBounds := gridBounds(ny, m1)
+	for yi := 0; yi+1 < len(yBounds); yi++ {
+		for xi := 0; xi+1 < len(xBounds); xi++ {
+			x0, x1 := xBounds[xi], xBounds[xi+1]
+			y0, y1 := yBounds[yi], yBounds[yi+1]
+			var trueTotal float64
+			for y := y0; y < y1; y++ {
+				for xc := x0; xc < x1; xc++ {
+					trueTotal += x.Data[y*nx+xc]
+				}
+			}
+			level1 := trueTotal + noise.Laplace(rng, 1/eps1)
+			if level1 < 0 {
+				level1 = 0
+			}
+			// Second-level grid sized from the noisy count.
+			m2 := int(math.Sqrt(level1 * eps2 / c2))
+			m2 = clampInt(m2, 1, minInt(x1-x0, y1-y0))
+			sub := make([]float64, (x1-x0)*(y1-y0))
+			measureRegion(rng, x.Data, nx, x0, y0, x1, y1, m2, m2, eps2, sub)
+			// Consistency: rescale the level-2 cells to match level 1.
+			var subTotal float64
+			for _, v := range sub {
+				subTotal += v
+			}
+			if subTotal > 0 && level1 > 0 {
+				adj := level1 / subTotal
+				for i := range sub {
+					sub[i] *= adj
+				}
+			} else if subTotal == 0 && level1 > 0 {
+				per := level1 / float64(len(sub))
+				for i := range sub {
+					sub[i] = per
+				}
+			}
+			for y := y0; y < y1; y++ {
+				copy(out[y*nx+x0:y*nx+x1], sub[(y-y0)*(x1-x0):(y-y0+1)*(x1-x0)])
+			}
+		}
+	}
+	return out, nil
+}
+
+// gridSize computes the UGrid rule m = sqrt(N*eps/c) clamped to [1, side].
+func gridSize(scale, eps, c float64, side int) int {
+	m := int(math.Sqrt(scale * eps / c))
+	return clampInt(m, 1, side)
+}
+
+// gridBounds splits [0, n) into m nearly equal segments, returning the m+1
+// boundaries.
+func gridBounds(n, m int) []int {
+	if m > n {
+		m = n
+	}
+	if m < 1 {
+		m = 1
+	}
+	out := make([]int, m+1)
+	for i := 0; i <= m; i++ {
+		out[i] = n * i / m
+	}
+	return out
+}
+
+// measureGrid measures an mx x my equi-width grid over the whole region with
+// Laplace noise and spreads each count uniformly into out (row-major nx
+// grid).
+func measureGrid(rng *rand.Rand, data []float64, nx, ny, x0, y0, x1, y1, mx, my int, eps float64, out []float64) {
+	xb := gridBounds(x1-x0, mx)
+	yb := gridBounds(y1-y0, my)
+	for yi := 0; yi+1 < len(yb); yi++ {
+		for xi := 0; xi+1 < len(xb); xi++ {
+			gx0, gx1 := x0+xb[xi], x0+xb[xi+1]
+			gy0, gy1 := y0+yb[yi], y0+yb[yi+1]
+			var total float64
+			for y := gy0; y < gy1; y++ {
+				for x := gx0; x < gx1; x++ {
+					total += data[y*nx+x]
+				}
+			}
+			est := total + noise.Laplace(rng, 1/eps)
+			if est < 0 {
+				est = 0
+			}
+			per := est / float64((gx1-gx0)*(gy1-gy0))
+			for y := gy0; y < gy1; y++ {
+				for x := gx0; x < gx1; x++ {
+					out[y*nx+x] = per
+				}
+			}
+		}
+	}
+}
+
+// measureRegion is measureGrid writing into a region-local buffer sub of
+// width x1-x0.
+func measureRegion(rng *rand.Rand, data []float64, nx, x0, y0, x1, y1, mx, my int, eps float64, sub []float64) {
+	w := x1 - x0
+	xb := gridBounds(w, mx)
+	yb := gridBounds(y1-y0, my)
+	for yi := 0; yi+1 < len(yb); yi++ {
+		for xi := 0; xi+1 < len(xb); xi++ {
+			gx0, gx1 := xb[xi], xb[xi+1]
+			gy0, gy1 := yb[yi], yb[yi+1]
+			var total float64
+			for y := gy0; y < gy1; y++ {
+				for x := gx0; x < gx1; x++ {
+					total += data[(y0+y)*nx+x0+x]
+				}
+			}
+			est := total + noise.Laplace(rng, 1/eps)
+			if est < 0 {
+				est = 0
+			}
+			per := est / float64((gx1-gx0)*(gy1-gy0))
+			for y := gy0; y < gy1; y++ {
+				for x := gx0; x < gx1; x++ {
+					sub[y*w+x] = per
+				}
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

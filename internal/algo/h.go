@@ -1,0 +1,134 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tree"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// H is the hierarchical mechanism of Hay et al. (PVLDB 2010): a binary tree
+// of interval counts over the 1D domain, uniform budget allocation across
+// levels, Laplace noise on every node, and weighted least-squares consistency
+// inference ("boosting") to produce the final cell estimates.
+type H struct {
+	// B is the branching factor; the published algorithm fixes b = 2.
+	B int
+}
+
+func init() { Register("H", func() Algorithm { return &H{B: 2} }) }
+
+// Name implements Algorithm.
+func (h *H) Name() string { return "H" }
+
+// Supports implements Algorithm; H is 1D only (Table 1).
+func (h *H) Supports(k int) bool { return k == 1 }
+
+// DataDependent implements Algorithm.
+func (h *H) DataDependent() bool { return false }
+
+// Run implements Algorithm.
+func (h *H) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	if x.K() != 1 {
+		return nil, fmt.Errorf("h: 1D only, got %dD", x.K())
+	}
+	b := h.B
+	if b < 2 {
+		b = 2
+	}
+	root, err := tree.BuildInterval(x.N(), b)
+	if err != nil {
+		return nil, err
+	}
+	height := root.Height()
+	root.Measure(rng, x.Data, tree.UniformLevelBudget(eps, height))
+	return root.Infer(x.N()), nil
+}
+
+// Hb is the hierarchical mechanism of Qardaji et al. (PVLDB 2013), which
+// chooses the branching factor that minimizes the average variance of range
+// queries answered through the tree and then proceeds as H does. For 2D it
+// builds a grid hierarchy splitting both dimensions by b at every level.
+type Hb struct{}
+
+func init() { Register("HB", func() Algorithm { return Hb{} }) }
+
+// Name implements Algorithm.
+func (Hb) Name() string { return "HB" }
+
+// Supports implements Algorithm.
+func (Hb) Supports(k int) bool { return k == 1 || k == 2 }
+
+// DataDependent implements Algorithm.
+func (Hb) DataDependent() bool { return false }
+
+// Run implements Algorithm.
+func (Hb) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	switch x.K() {
+	case 1:
+		n := x.N()
+		b := OptimalBranching(n, 1)
+		root, err := tree.BuildInterval(n, b)
+		if err != nil {
+			return nil, err
+		}
+		root.Measure(rng, x.Data, tree.UniformLevelBudget(eps, root.Height()))
+		return root.Infer(n), nil
+	case 2:
+		ny, nx := x.Dims[0], x.Dims[1]
+		side := nx
+		if ny > side {
+			side = ny
+		}
+		b := OptimalBranching(side, 2)
+		root, err := tree.BuildGrid(nx, ny, b)
+		if err != nil {
+			return nil, err
+		}
+		root.Measure(rng, x.Data, tree.UniformLevelBudget(eps, root.Height()))
+		return root.Infer(x.N()), nil
+	default:
+		return nil, fmt.Errorf("hb: unsupported dimensionality %d", x.K())
+	}
+}
+
+// OptimalBranching returns the branching factor minimizing Qardaji et al.'s
+// estimate of average range-query variance for a hierarchy over a domain of
+// size n per dimension in k dimensions: with uniform budget over h =
+// ceil(log_b n) + 1 levels, per-node variance grows as h^2 and a random range
+// decomposes into about ((b-1)h)^k nodes, so the objective is
+// (b-1)^k * h^(k+2).
+func OptimalBranching(n, k int) int {
+	if n <= 2 {
+		return 2
+	}
+	bestB, bestCost := 2, math.Inf(1)
+	for b := 2; b <= n; b++ {
+		h := float64(heightFor(n, b))
+		cost := math.Pow(float64(b-1), float64(k)) * math.Pow(h, float64(k+2))
+		if cost < bestCost {
+			bestCost = cost
+			bestB = b
+		}
+	}
+	return bestB
+}
+
+// heightFor returns the number of levels of a b-ary hierarchy over n leaves
+// (including both the root and leaf levels).
+func heightFor(n, b int) int {
+	h := 1
+	for span := 1; span < n; span *= b {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,64 @@
+package algo
+
+import (
+	"math/rand"
+
+	"repro/internal/noise"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Identity is the data-independent baseline: independent Laplace(1/eps) noise
+// on every cell count (Section 3.1). It is the direct application of the
+// Laplace mechanism to the histogram function, whose sensitivity is 1.
+type Identity struct{}
+
+func init() { Register("IDENTITY", func() Algorithm { return Identity{} }) }
+
+// Name implements Algorithm.
+func (Identity) Name() string { return "IDENTITY" }
+
+// Supports implements Algorithm; Identity works in any dimensionality.
+func (Identity) Supports(k int) bool { return k >= 1 }
+
+// DataDependent implements Algorithm.
+func (Identity) DataDependent() bool { return false }
+
+// Run implements Algorithm.
+func (Identity) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	return noise.LaplaceMechanism(rng, x.Data, 1, eps), nil
+}
+
+// Uniform is the data-dependent baseline: it spends the whole budget
+// estimating the scale and spreads it uniformly, equivalent to an equi-width
+// histogram with a single domain-wide bucket (Section 3.1).
+type Uniform struct{}
+
+func init() { Register("UNIFORM", func() Algorithm { return Uniform{} }) }
+
+// Name implements Algorithm.
+func (Uniform) Name() string { return "UNIFORM" }
+
+// Supports implements Algorithm.
+func (Uniform) Supports(k int) bool { return k >= 1 }
+
+// DataDependent implements Algorithm. Uniform learns (only) the scale from
+// the data, which the paper marks as weakly data-dependent.
+func (Uniform) DataDependent() bool { return true }
+
+// Run implements Algorithm.
+func (Uniform) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	total := x.Scale() + noise.Laplace(rng, 1/eps)
+	if total < 0 {
+		total = 0
+	}
+	out := make([]float64, x.N())
+	uniformSpread(out, 0, len(out), total)
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/noise"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// MWEM is the multiplicative-weights exponential-mechanism algorithm of
+// Hardt, Ligett and McSherry (NIPS 2012). It maintains a synthetic
+// distribution over the domain, initialized uniform at the (assumed public)
+// dataset scale, and runs T rounds: each round privately selects the
+// workload query with the largest error via the exponential mechanism,
+// measures it with the Laplace mechanism, and applies multiplicative-weights
+// updates. Following the published implementation, every round replays the
+// full measurement history for several update sweeps.
+//
+// The number of rounds T is the free parameter the paper calls out
+// (Section 6.4): the registry's "MWEM" uses the static T = 10 from the
+// original paper, while "MWEM*" sets T from the trained data-independent
+// profile as a function of the eps*scale product and estimates the scale
+// privately instead of assuming it public.
+type MWEM struct {
+	// T is the number of rounds; 0 means derive it with TFromSignal.
+	T int
+	// TFromSignal maps the product eps*scale to a round count; used by
+	// MWEM* (trained via core.TrainMWEM or the built-in DefaultTProfile).
+	TFromSignal func(product float64) int
+	// ScaleRho, when positive, is the budget fraction spent estimating the
+	// scale privately instead of using it as side information.
+	ScaleRho float64
+	// UpdateSweeps is the number of history-replay sweeps per round.
+	UpdateSweeps int
+
+	starred bool
+}
+
+func init() {
+	Register("MWEM", func() Algorithm { return &MWEM{T: 10, UpdateSweeps: 2} })
+	Register("MWEM*", func() Algorithm {
+		return &MWEM{TFromSignal: DefaultTProfile, ScaleRho: 0.05, UpdateSweeps: 2, starred: true}
+	})
+}
+
+// DefaultTProfile is the shipped data-independent mapping from the signal
+// strength eps*scale to the number of MWEM rounds, learned offline on
+// synthetic power-law and normal shapes exactly as Section 6.4 prescribes
+// (see core.TrainMWEM for the trainer). T grows from 2 at weak signal to 100
+// at strong signal, mirroring the paper's reported range.
+func DefaultTProfile(product float64) int {
+	switch {
+	case product < 50:
+		return 2
+	case product < 500:
+		return 5
+	case product < 5e3:
+		return 10
+	case product < 5e4:
+		return 20
+	case product < 5e5:
+		return 40
+	case product < 5e6:
+		return 70
+	default:
+		return 100
+	}
+}
+
+// Name implements Algorithm.
+func (m *MWEM) Name() string {
+	if m.starred {
+		return "MWEM*"
+	}
+	return "MWEM"
+}
+
+// Supports implements Algorithm.
+func (m *MWEM) Supports(k int) bool { return k >= 1 }
+
+// DataDependent implements Algorithm.
+func (m *MWEM) DataDependent() bool { return true }
+
+// SetScaleEstimator implements SideInfoUser.
+func (m *MWEM) SetScaleEstimator(rho float64) { m.ScaleRho = rho }
+
+// Run implements Algorithm.
+func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	if w == nil || w.Size() == 0 {
+		w = workload.Prefix(x.N())
+	}
+	epsLeft := eps
+	scale := x.Scale()
+	if m.ScaleRho > 0 {
+		epsScale := eps * m.ScaleRho
+		scale += noise.Laplace(rng, 1/epsScale)
+		if scale < 1 {
+			scale = 1
+		}
+		epsLeft -= epsScale
+	}
+	rounds := m.T
+	if rounds <= 0 {
+		prof := m.TFromSignal
+		if prof == nil {
+			prof = DefaultTProfile
+		}
+		rounds = prof(eps * scale)
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > w.Size() {
+		rounds = w.Size()
+	}
+	sweeps := m.UpdateSweeps
+	if sweeps < 1 {
+		sweeps = 1
+	}
+
+	n := x.N()
+	est := make([]float64, n)
+	uniformSpread(est, 0, n, scale)
+	trueAns, err := w.Evaluate(x)
+	if err != nil {
+		return nil, err
+	}
+
+	epsRound := epsLeft / float64(rounds)
+	type measurement struct {
+		query int
+		value float64
+	}
+	var history []measurement
+	chosen := make(map[int]bool)
+
+	for t := 0; t < rounds; t++ {
+		// Select the worst-approximated query with half the round budget.
+		estAns := w.EvaluateFlat(est)
+		scores := make([]float64, w.Size())
+		for i := range scores {
+			if chosen[i] {
+				scores[i] = math.Inf(-1)
+				continue
+			}
+			scores[i] = math.Abs(trueAns[i] - estAns[i])
+		}
+		q := noise.ExpMech(rng, scores, 1, epsRound/2)
+		chosen[q] = true
+		// Measure it with the other half.
+		meas := trueAns[q] + noise.Laplace(rng, 2/epsRound)
+		history = append(history, measurement{q, meas})
+
+		// Multiplicative weights over the history.
+		for s := 0; s < sweeps; s++ {
+			for _, h := range history {
+				cur := answerOne(w, h.query, est)
+				factor := (h.value - cur) / (2 * scale)
+				if factor > 30 {
+					factor = 30
+				} else if factor < -30 {
+					factor = -30
+				}
+				mult := math.Exp(factor)
+				var newTotal float64
+				for cell := 0; cell < n; cell++ {
+					if w.Covers(h.query, cell) {
+						est[cell] *= mult
+					}
+					newTotal += est[cell]
+				}
+				// Renormalize to the (noisy or public) scale.
+				if newTotal > 0 {
+					adj := scale / newTotal
+					for cell := range est {
+						est[cell] *= adj
+					}
+				}
+			}
+		}
+	}
+	return est, nil
+}
+
+// answerOne evaluates one workload query against an estimate vector.
+func answerOne(w *workload.Workload, k int, est []float64) float64 {
+	var s float64
+	q := w.Queries[k]
+	switch len(w.Dims) {
+	case 1:
+		for i := q.Lo[0]; i <= q.Hi[0]; i++ {
+			s += est[i]
+		}
+	case 2:
+		nx := w.Dims[1]
+		for y := q.Lo[0]; y <= q.Hi[0]; y++ {
+			for xc := q.Lo[1]; xc <= q.Hi[1]; xc++ {
+				s += est[y*nx+xc]
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/noise"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// PHP is the private histogram-publication algorithm of Acs, Castelluccia
+// and Chen (ICDM 2012). It builds a partition by recursively bisecting
+// intervals: each bisection point is chosen by the exponential mechanism
+// with a score equal to the reduction in expected absolute error, and the
+// recursion depth is capped at log2(n) rounds (which is what makes PHP
+// inconsistent — Theorem 6 of the benchmark paper). Bucket counts are then
+// measured with the remaining budget and spread uniformly.
+type PHP struct {
+	// Rho is the budget fraction for partition selection (paper: 0.5).
+	Rho float64
+}
+
+func init() { Register("PHP", func() Algorithm { return &PHP{Rho: 0.5} }) }
+
+// Name implements Algorithm.
+func (p *PHP) Name() string { return "PHP" }
+
+// Supports implements Algorithm; PHP is 1D only (Table 1).
+func (p *PHP) Supports(k int) bool { return k == 1 }
+
+// DataDependent implements Algorithm.
+func (p *PHP) DataDependent() bool { return true }
+
+// Run implements Algorithm.
+func (p *PHP) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	if x.K() != 1 {
+		return nil, fmt.Errorf("php: 1D only, got %dD", x.K())
+	}
+	rho := p.Rho
+	if rho <= 0 || rho >= 1 {
+		rho = 0.5
+	}
+	n := x.N()
+	eps1 := rho * eps
+	eps2 := (1 - rho) * eps
+	maxIter := log2Ceil(n)
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	epsPerIter := eps1 / float64(maxIter)
+
+	// Prefix sums for O(1) interval totals.
+	prefix := make([]float64, n+1)
+	for i, v := range x.Data {
+		prefix[i+1] = prefix[i] + v
+	}
+	sum := func(lo, hi int) float64 { return prefix[hi] - prefix[lo] } // [lo,hi)
+
+	// Each iteration bisects every interval still worth splitting. The
+	// score of split point m for interval [lo,hi) is the drop in uniformity
+	// cost: cost(lo,hi) - cost(lo,m) - cost(m,hi), where the cost proxy is
+	// |total - width*avg_outside|; following Acs et al. we use the absolute
+	// difference between the two halves' totals normalized by width, whose
+	// per-record sensitivity is at most 1.
+	type interval struct{ lo, hi int }
+	parts := []interval{{0, n}}
+	for iter := 0; iter < maxIter; iter++ {
+		var next []interval
+		for _, iv := range parts {
+			if iv.hi-iv.lo <= 1 {
+				next = append(next, iv)
+				continue
+			}
+			scores := make([]float64, 0, iv.hi-iv.lo-1)
+			for m := iv.lo + 1; m < iv.hi; m++ {
+				left := sum(iv.lo, m)
+				right := sum(m, iv.hi)
+				wl, wr := float64(m-iv.lo), float64(iv.hi-m)
+				// Balance of per-cell averages; rewards splits that separate
+				// regions of different density.
+				scores = append(scores, abs(left/wl-right/wr)*minf(wl, wr))
+			}
+			pick := noise.ExpMech(rng, scores, 1, epsPerIter)
+			m := iv.lo + 1 + pick
+			next = append(next, interval{iv.lo, m}, interval{m, iv.hi})
+		}
+		parts = next
+	}
+
+	out := make([]float64, n)
+	for _, iv := range parts {
+		est := sum(iv.lo, iv.hi) + noise.Laplace(rng, 1/eps2)
+		if est < 0 {
+			est = 0
+		}
+		uniformSpread(out, iv.lo, iv.hi, est)
+	}
+	return out, nil
+}
+
+func log2Ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	return k
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/noise"
+	"repro/internal/tree"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// QuadTree is the fixed-structure spatial decomposition of Cormode et al.
+// (ICDE 2012): a quadtree of at most MaxHeight levels over the 2D grid,
+// Laplace measurements on every node with geometric budget allocation, and
+// consistency post-processing. Because the structure is fixed, no budget is
+// spent selecting it (rho = 0). When the height cap truncates leaves above
+// single cells, the uniformity assumption introduces bias, which is what
+// makes QuadTree inconsistent on large domains (Theorem 5).
+type QuadTree struct {
+	// MaxHeight caps the number of tree levels (paper's c = 10).
+	MaxHeight int
+}
+
+func init() { Register("QUADTREE", func() Algorithm { return &QuadTree{MaxHeight: 10} }) }
+
+// Name implements Algorithm.
+func (q *QuadTree) Name() string { return "QUADTREE" }
+
+// Supports implements Algorithm; QuadTree is 2D only (Table 1).
+func (q *QuadTree) Supports(k int) bool { return k == 2 }
+
+// DataDependent implements Algorithm.
+func (q *QuadTree) DataDependent() bool { return true }
+
+// Run implements Algorithm.
+func (q *QuadTree) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	if x.K() != 2 {
+		return nil, fmt.Errorf("quadtree: 2D only, got %dD", x.K())
+	}
+	h := q.MaxHeight
+	if h < 1 {
+		h = 10
+	}
+	root, err := tree.BuildQuad(x.Dims[1], x.Dims[0], h)
+	if err != nil {
+		return nil, err
+	}
+	root.Measure(rng, x.Data, tree.GeometricLevelBudget(eps, root.Height()))
+	return root.Infer(x.N()), nil
+}
+
+// HybridTree is the kd-hybrid decomposition of Cormode et al. (ICDE 2012):
+// the top KDLevels of the tree are chosen data-dependently by splitting at
+// noisy medians (spending a small fraction of the budget), and a fixed
+// quadtree fills in below until MaxHeight levels; node counts are then
+// measured geometrically and made consistent, as with QuadTree.
+type HybridTree struct {
+	// KDLevels is the number of data-dependent top levels.
+	KDLevels int
+	// MaxHeight caps the total number of levels.
+	MaxHeight int
+	// StructRho is the budget fraction spent choosing the kd splits.
+	StructRho float64
+}
+
+func init() {
+	Register("HYBRIDTREE", func() Algorithm {
+		return &HybridTree{KDLevels: 3, MaxHeight: 10, StructRho: 0.1}
+	})
+}
+
+// Name implements Algorithm.
+func (t *HybridTree) Name() string { return "HYBRIDTREE" }
+
+// Supports implements Algorithm.
+func (t *HybridTree) Supports(k int) bool { return k == 2 }
+
+// DataDependent implements Algorithm.
+func (t *HybridTree) DataDependent() bool { return true }
+
+// Run implements Algorithm.
+func (t *HybridTree) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	if x.K() != 2 {
+		return nil, fmt.Errorf("hybridtree: 2D only, got %dD", x.K())
+	}
+	kd := t.KDLevels
+	if kd < 0 {
+		kd = 3
+	}
+	h := t.MaxHeight
+	if h < kd+1 {
+		h = kd + 1
+	}
+	rho := t.StructRho
+	if rho <= 0 || rho >= 1 {
+		rho = 0.1
+	}
+	nx, ny := x.Dims[1], x.Dims[0]
+	epsStruct := rho * eps
+	epsCount := (1 - rho) * eps
+
+	// Noisy marginals drive the kd splits; each level of splits touches
+	// disjoint regions so the levels share epsStruct evenly.
+	perLevel := epsStruct / float64(maxInt(kd, 1))
+	root := t.buildKD(x.Data, nx, tree.Rect{X0: 0, Y0: 0, X1: nx, Y1: ny}, kd, h, perLevel, rng)
+	if err := root.Finalize(); err != nil {
+		return nil, err
+	}
+	root.Measure(rng, x.Data, tree.GeometricLevelBudget(epsCount, root.Height()))
+	return root.Infer(x.N()), nil
+}
+
+// buildKD builds kdLeft data-dependent levels splitting the longer dimension
+// at a noisy mass median, then hands the region to a fixed quadtree of the
+// remaining height.
+func (t *HybridTree) buildKD(data []float64, nx int, r tree.Rect, kdLeft, heightLeft int, epsLevel float64, rng *rand.Rand) *tree.Node {
+	w, h := r.X1-r.X0, r.Y1-r.Y0
+	if kdLeft == 0 || heightLeft <= 1 || (w == 1 && h == 1) {
+		return tree.BuildQuadRegion(nx, r, heightLeft)
+	}
+	nd := &tree.Node{}
+	var cut int
+	if w >= h {
+		marg := noisyMarginal(data, nx, r, true, epsLevel, rng)
+		cut = r.X0 + marginalMedian(marg)
+		if cut <= r.X0 || cut >= r.X1 {
+			cut = (r.X0 + r.X1) / 2
+		}
+		left := tree.Rect{X0: r.X0, Y0: r.Y0, X1: cut, Y1: r.Y1}
+		right := tree.Rect{X0: cut, Y0: r.Y0, X1: r.X1, Y1: r.Y1}
+		nd.Children = []*tree.Node{
+			t.buildKD(data, nx, left, kdLeft-1, heightLeft-1, epsLevel, rng),
+			t.buildKD(data, nx, right, kdLeft-1, heightLeft-1, epsLevel, rng),
+		}
+		return nd
+	}
+	marg := noisyMarginal(data, nx, r, false, epsLevel, rng)
+	cut = r.Y0 + marginalMedian(marg)
+	if cut <= r.Y0 || cut >= r.Y1 {
+		cut = (r.Y0 + r.Y1) / 2
+	}
+	top := tree.Rect{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: cut}
+	bottom := tree.Rect{X0: r.X0, Y0: cut, X1: r.X1, Y1: r.Y1}
+	nd.Children = []*tree.Node{
+		t.buildKD(data, nx, top, kdLeft-1, heightLeft-1, epsLevel, rng),
+		t.buildKD(data, nx, bottom, kdLeft-1, heightLeft-1, epsLevel, rng),
+	}
+	return nd
+}
+
+// noisyMarginal returns the Laplace-noised marginal of the region along x
+// (overX true) or y.
+func noisyMarginal(data []float64, nx int, r tree.Rect, overX bool, eps float64, rng *rand.Rand) []float64 {
+	var marg []float64
+	if overX {
+		marg = make([]float64, r.X1-r.X0)
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				marg[x-r.X0] += data[y*nx+x]
+			}
+		}
+	} else {
+		marg = make([]float64, r.Y1-r.Y0)
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				marg[y-r.Y0] += data[y*nx+x]
+			}
+		}
+	}
+	for i := range marg {
+		marg[i] += noise.Laplace(rng, 1/eps)
+	}
+	return marg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Tests for the 2D code paths of the multi-dimensional mechanisms, which the
+// generic contract tests only exercise at one setting.
+
+func TestPrivelet2DNonSquare(t *testing.T) {
+	x := vec.New(8, 16) // 8 rows, 16 cols
+	rng := rand.New(rand.NewSource(1))
+	for i := range x.Data {
+		x.Data[i] = float64(rng.Intn(20))
+	}
+	a := Privelet{}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-3 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestPrivelet2DNonPow2(t *testing.T) {
+	x := vec.New(6, 10)
+	for i := range x.Data {
+		x.Data[i] = float64(i % 5)
+	}
+	a := Privelet{}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 60 {
+		t.Fatalf("len = %d", len(est))
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-3 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestHb2DExactAtHugeBudget(t *testing.T) {
+	x := test2DVector(12, 3000) // non-power-of-two side
+	a := Hb{}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-3 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestGreedyH2DExactAtHugeBudget(t *testing.T) {
+	x := test2DVector(16, 3000)
+	a := &GreedyH{B: 2}
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1e-3 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestGreedyH2DRequiresSquare(t *testing.T) {
+	x := vec.New(8, 16)
+	a := &GreedyH{B: 2}
+	if _, err := a.Run(x, nil, 1, rand.New(rand.NewSource(6))); err == nil {
+		t.Fatal("expected error for non-square 2D grid")
+	}
+}
+
+func TestDAWA2DExactAtHugeBudget(t *testing.T) {
+	x := test2DVector(16, 3000)
+	a, _ := New("DAWA")
+	est, err := a.Run(x, nil, 1e9, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 0.01 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestMWEM2D(t *testing.T) {
+	x := test2DVector(8, 10_000)
+	w := workload.RandomRange2D(8, 8, 40, rand.New(rand.NewSource(8)))
+	a := &MWEM{T: 10, UpdateSweeps: 2}
+	est, err := a.Run(x, w, 1.0, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		if v < 0 {
+			t.Fatal("negative mass")
+		}
+		total += v
+	}
+	if math.Abs(total-10_000) > 1 {
+		t.Fatalf("total %v, want 10000", total)
+	}
+}
+
+func TestAHP2D(t *testing.T) {
+	x := test2DVector(16, 50_000)
+	a := &AHP{Rho: 0.5, Eta: 0.35}
+	est, err := a.Run(x, nil, 1.0, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	if math.Abs(total-50_000) > 25_000 {
+		t.Fatalf("total %v far from 50000", total)
+	}
+}
+
+func TestDPCube2DPartitionsFollowStructure(t *testing.T) {
+	// A quadrant structure should be recovered at high budget.
+	side := 16
+	x := vec.New(side, side)
+	for y := 0; y < side; y++ {
+		for xx := 0; xx < side; xx++ {
+			if y < side/2 && xx < side/2 {
+				x.Data[y*side+xx] = 100
+			}
+		}
+	}
+	a := &DPCube{Rho: 0.5, MinCells: 10}
+	est, err := a.Run(x, nil, 1e6, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 1 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestQuadTreeGeometricBudgetTotal(t *testing.T) {
+	// The quadtree's per-level budgets must sum to eps (sequential
+	// composition across levels: each record is in one node per level).
+	x := test2DVector(16, 1000)
+	a := &QuadTree{MaxHeight: 5}
+	// Indirectly verified by running at eps so small that any budget
+	// inflation would be glaring; mostly a smoke check for the 16x16 tree.
+	est, err := a.Run(x, nil, 0.01, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 256 {
+		t.Fatalf("len = %d", len(est))
+	}
+}
+
+func TestUGridScaleEstimatorPath(t *testing.T) {
+	x := test2DVector(16, 50_000)
+	a := &UGrid{C: 10}
+	a.SetScaleEstimator(0.05)
+	est, err := a.Run(x, nil, 0.5, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range est {
+		total += v
+	}
+	if math.Abs(total-50_000) > 25_000 {
+		t.Fatalf("total %v far from 50000", total)
+	}
+}
+
+func TestAGridScaleEstimatorPath(t *testing.T) {
+	x := test2DVector(16, 50_000)
+	a := &AGrid{C: 10, C2: 5, Rho: 0.5}
+	a.SetScaleEstimator(0.05)
+	if _, err := a.Run(x, nil, 0.5, rand.New(rand.NewSource(14))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridTreeKDLevelsZeroFallsBackToQuadtree(t *testing.T) {
+	x := test2DVector(8, 2000)
+	a := &HybridTree{KDLevels: 0, MaxHeight: 8, StructRho: 0.1}
+	est, err := a.Run(x, nil, 1e8, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est {
+		if math.Abs(est[i]-x.Data[i]) > 0.1 {
+			t.Fatalf("cell %d: %v want %v", i, est[i], x.Data[i])
+		}
+	}
+}
+
+func TestIdentity3D(t *testing.T) {
+	// IDENTITY and UNIFORM are Multi-D per Table 1: verify a 3D vector works.
+	x := vec.New(4, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = 5
+	}
+	for _, a := range []Algorithm{Identity{}, Uniform{}} {
+		est, err := a.Run(x, nil, 1e8, rand.New(rand.NewSource(16)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range est {
+			if math.Abs(est[i]-5) > 0.01 {
+				t.Fatalf("%s: cell %d = %v", a.Name(), i, est[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algo"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config describes one experimental setting: a (dataset, domain, scale,
+// epsilon) cell of the benchmark grid, following Section 6.1's protocol of
+// drawing several data vectors from the generator and running each algorithm
+// several times on each vector.
+type Config struct {
+	// Dataset is the source shape.
+	Dataset dataset.Dataset
+	// Dims is the domain, e.g. []int{4096} or []int{128, 128}.
+	Dims []int
+	// Scale is the number of tuples the generator draws.
+	Scale int
+	// Eps is the privacy budget.
+	Eps float64
+	// Workload is the query set; the loss is computed over its answers.
+	Workload *workload.Workload
+	// Algorithms are the mechanisms to compare.
+	Algorithms []algo.Algorithm
+	// DataSamples is the number of vectors drawn from the generator
+	// (paper: 5). Defaults to 3.
+	DataSamples int
+	// Trials is the number of algorithm executions per vector (paper: 10).
+	// Defaults to 3.
+	Trials int
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// Loss defaults to L2Loss.
+	Loss LossFunc
+}
+
+// AlgResult holds every scaled-error observation for one algorithm in one
+// setting (DataSamples * Trials values), plus the aggregates DPBench
+// reports.
+type AlgResult struct {
+	Name   string
+	Errors []float64
+}
+
+// MeanError returns the mean scaled error (the risk-neutral measure).
+func (r AlgResult) MeanError() float64 { return stats.Mean(r.Errors) }
+
+// P95Error returns the 95th-percentile scaled error (the risk-averse
+// measure of Principle 8).
+func (r AlgResult) P95Error() float64 { return stats.Percentile(r.Errors, 95) }
+
+// newRNG builds a deterministic RNG from a seed.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Run executes one experimental setting and returns per-algorithm results in
+// the order of cfg.Algorithms. Each algorithm sees the same sequence of data
+// vectors; every (vector, trial, algorithm) triple gets an independent
+// deterministic RNG stream so results are reproducible and algorithms do not
+// perturb each other's randomness.
+func Run(cfg Config) ([]AlgResult, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("core: config has no workload")
+	}
+	if len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("core: config has no algorithms")
+	}
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("core: non-positive scale %d", cfg.Scale)
+	}
+	samples := cfg.DataSamples
+	if samples <= 0 {
+		samples = 3
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	loss := cfg.Loss
+	if loss == nil {
+		loss = L2Loss
+	}
+	results := make([]AlgResult, len(cfg.Algorithms))
+	for i, a := range cfg.Algorithms {
+		results[i].Name = a.Name()
+	}
+	q := cfg.Workload.Size()
+	for s := 0; s < samples; s++ {
+		genRNG := newRNG(cfg.Seed ^ int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)*int64(s+1))
+		x, err := cfg.Dataset.Generate(genRNG, cfg.Scale, cfg.Dims...)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %s: %w", cfg.Dataset.Name, err)
+		}
+		trueAns, err := cfg.Workload.Evaluate(x)
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t < trials; t++ {
+			for i, a := range cfg.Algorithms {
+				runRNG := newRNG(cfg.Seed + int64(s)*1_000_003 + int64(t)*7_919 + int64(i)*104_729 + 17)
+				est, err := a.Run(x, cfg.Workload, cfg.Eps, runRNG)
+				if err != nil {
+					return nil, fmt.Errorf("core: %s on %s: %w", a.Name(), cfg.Dataset.Name, err)
+				}
+				estAns := cfg.Workload.EvaluateFlat(est)
+				e := ScaledError(loss(estAns, trueAns), float64(cfg.Scale), q)
+				results[i].Errors = append(results[i].Errors, e)
+			}
+		}
+	}
+	return results, nil
+}
+
+// CompetitiveSet returns the names of algorithms that are competitive for
+// state-of-the-art performance in this setting (Section 5.3): the algorithm
+// with the lowest mean error, plus every algorithm whose mean-error
+// difference from it is not statistically significant under an unpaired
+// Welch t-test at the Bonferroni-corrected level alpha/(nalgs-1).
+func CompetitiveSet(results []AlgResult, alpha float64) []string {
+	if len(results) == 0 {
+		return nil
+	}
+	best := 0
+	for i := range results {
+		if results[i].MeanError() < results[best].MeanError() {
+			best = i
+		}
+	}
+	corrected := stats.Bonferroni(alpha, len(results)-1)
+	out := []string{results[best].Name}
+	for i := range results {
+		if i == best {
+			continue
+		}
+		tt := stats.WelchTTest(results[i].Errors, results[best].Errors)
+		if tt.P > corrected {
+			out = append(out, results[i].Name)
+		}
+	}
+	return out
+}
+
+// BestByP95 returns the name of the algorithm with the lowest 95th-percentile
+// error, the risk-averse winner of Finding 8.
+func BestByP95(results []AlgResult) string {
+	if len(results) == 0 {
+		return ""
+	}
+	best := 0
+	for i := range results {
+		if results[i].P95Error() < results[best].P95Error() {
+			best = i
+		}
+	}
+	return results[best].Name
+}
+
+// BestByMean returns the name of the algorithm with the lowest mean error.
+func BestByMean(results []AlgResult) string {
+	if len(results) == 0 {
+		return ""
+	}
+	best := 0
+	for i := range results {
+		if results[i].MeanError() < results[best].MeanError() {
+			best = i
+		}
+	}
+	return results[best].Name
+}
+
+// RegretTable computes, for each algorithm, the geometric-mean ratio of its
+// mean error to the per-setting oracle minimum, over a grid of settings
+// (Section 7.2: DAWA achieves 1.32 on 1D, 1.73 on 2D). settings[i][j] is the
+// mean error of algorithm j on setting i; algorithm order must be fixed
+// across settings.
+func RegretTable(names []string, settings [][]float64) map[string]float64 {
+	out := make(map[string]float64, len(names))
+	if len(settings) == 0 {
+		return out
+	}
+	oracle := make([]float64, len(settings))
+	for i, row := range settings {
+		m := row[0]
+		for _, v := range row[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		oracle[i] = m
+	}
+	for j, name := range names {
+		errs := make([]float64, len(settings))
+		for i, row := range settings {
+			errs[i] = row[j]
+		}
+		out[name] = stats.Regret(errs, oracle)
+	}
+	return out
+}

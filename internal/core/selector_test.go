@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectAlgorithmRegimes(t *testing.T) {
+	cases := []struct {
+		eps, scale float64
+		dims       int
+		regime     string
+		primary    string
+	}{
+		{0.1, 1_000, 1, "low", "DAWA"},
+		{0.1, 1_000, 2, "low", "DAWA"},
+		{0.1, 100_000, 1, "medium", "DAWA"},
+		{0.1, 100_000, 2, "medium", "AGRID"},
+		{0.1, 100_000_000, 1, "high", "HB"},
+		{1.0, 10_000_000, 2, "high", "HB"},
+	}
+	for _, c := range cases {
+		rec, err := SelectAlgorithm(c.eps, c.scale, c.dims)
+		if err != nil {
+			t.Fatalf("eps=%v scale=%v: %v", c.eps, c.scale, err)
+		}
+		if rec.Regime != c.regime {
+			t.Errorf("eps=%v scale=%v dims=%d: regime %s, want %s", c.eps, c.scale, c.dims, rec.Regime, c.regime)
+		}
+		if rec.Primary != c.primary {
+			t.Errorf("eps=%v scale=%v dims=%d: primary %s, want %s", c.eps, c.scale, c.dims, rec.Primary, c.primary)
+		}
+		if rec.Rationale == "" || rec.Alternative == "" {
+			t.Errorf("incomplete recommendation %+v", rec)
+		}
+	}
+}
+
+func TestSelectAlgorithmSignalExchangeable(t *testing.T) {
+	// The selector must depend only on the product eps*scale (Definition 4).
+	a, err := SelectAlgorithm(0.01, 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectAlgorithm(1.0, 10_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Primary != b.Primary || a.Regime != b.Regime {
+		t.Fatalf("selector not exchangeable: %+v vs %+v", a, b)
+	}
+}
+
+func TestSelectAlgorithmRejectsBadInputs(t *testing.T) {
+	if _, err := SelectAlgorithm(0, 1000, 1); err == nil {
+		t.Fatal("expected error for eps=0")
+	}
+	if _, err := SelectAlgorithm(0.1, -5, 1); err == nil {
+		t.Fatal("expected error for negative scale")
+	}
+	if _, err := SelectAlgorithm(0.1, 1000, 3); err == nil {
+		t.Fatal("expected error for 3D")
+	}
+}
+
+func TestSelectAlgorithmRationaleCitesFindings(t *testing.T) {
+	rec, err := SelectAlgorithm(0.1, 1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.Rationale, "Finding") && !strings.Contains(rec.Rationale, "Section") {
+		t.Fatalf("rationale should cite the paper: %q", rec.Rationale)
+	}
+}

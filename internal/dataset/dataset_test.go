@@ -1,0 +1,238 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistrySizes(t *testing.T) {
+	if got := len(Registry1D()); got != 18 {
+		t.Fatalf("1D registry has %d datasets, want 18 (Table 2)", got)
+	}
+	if got := len(Registry2D()); got != 9 {
+		t.Fatalf("2D registry has %d datasets, want 9 (Table 2)", got)
+	}
+}
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range append(Registry1D(), Registry2D()...) {
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset name %s", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("ADULT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim != 1 || d.OriginalScale != 32558 {
+		t.Fatalf("ADULT metadata wrong: %+v", d)
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestSourceShapeNormalized(t *testing.T) {
+	for _, d := range append(Registry1D(), Registry2D()...) {
+		p := d.SourceShape()
+		var sum float64
+		for _, v := range p.Data {
+			if v < 0 {
+				t.Fatalf("%s: negative shape entry", d.Name)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: shape sums to %v", d.Name, sum)
+		}
+	}
+}
+
+func TestSourceShapeDeterministicAndCached(t *testing.T) {
+	d, _ := ByName("TRACE")
+	p1 := d.SourceShape()
+	p2 := d.SourceShape()
+	if p1 != p2 {
+		t.Fatal("SourceShape not cached (pointer differs)")
+	}
+}
+
+func TestZeroFractionMatchesTable2(t *testing.T) {
+	for _, d := range append(Registry1D(), Registry2D()...) {
+		p := d.SourceShape()
+		got := p.ZeroFraction()
+		if math.Abs(got-d.ZeroFrac) > 0.01 {
+			t.Fatalf("%s: zero fraction %v, want %v (Table 2)", d.Name, got, d.ZeroFrac)
+		}
+	}
+}
+
+func TestShapeCoarsening(t *testing.T) {
+	d, _ := ByName("SEARCH")
+	for _, n := range Domains1D {
+		p, err := d.Shape(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N() != n {
+			t.Fatalf("domain %d: got %d cells", n, p.N())
+		}
+		var sum float64
+		for _, v := range p.Data {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("domain %d: shape sums to %v", n, sum)
+		}
+	}
+}
+
+func TestShape2DCoarsening(t *testing.T) {
+	d, _ := ByName("GOWALLA")
+	for _, side := range Domains2D {
+		p, err := d.Shape(side, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N() != side*side {
+			t.Fatalf("side %d: got %d cells", side, p.N())
+		}
+	}
+}
+
+func TestShapeArityErrors(t *testing.T) {
+	d1, _ := ByName("ADULT")
+	if _, err := d1.Shape(64, 64); err == nil {
+		t.Fatal("expected arity error for 2D shape of 1D dataset")
+	}
+	d2, _ := ByName("STROKE")
+	if _, err := d2.Shape(64); err == nil {
+		t.Fatal("expected arity error for 1D shape of 2D dataset")
+	}
+}
+
+func TestGenerateExactScale(t *testing.T) {
+	d, _ := ByName("MEDCOST")
+	rng := rand.New(rand.NewSource(1))
+	for _, scale := range []int{1000, 10_000, 100_000} {
+		x, err := d.Generate(rng, scale, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := x.Scale(); got != float64(scale) {
+			t.Fatalf("scale %d: generated %v tuples", scale, got)
+		}
+	}
+}
+
+func TestGenerateIntegralCounts(t *testing.T) {
+	d, _ := ByName("PATENT")
+	rng := rand.New(rand.NewSource(2))
+	x, err := d.Generate(rng, 5000, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x.Data {
+		if v != math.Trunc(v) || v < 0 {
+			t.Fatalf("cell %d = %v, want non-negative integer", i, v)
+		}
+	}
+}
+
+func TestGenerateApproximatesShape(t *testing.T) {
+	// At large scale, the sampled empirical shape converges to the source
+	// shape (the paper: "approximately the same as the original").
+	d, _ := ByName("BIDS-ALL")
+	rng := rand.New(rand.NewSource(3))
+	const n, scale = 256, 2_000_000
+	p, _ := d.Shape(n)
+	x, err := d.Generate(rng, scale, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l1 float64
+	for i := range p.Data {
+		l1 += math.Abs(x.Data[i]/scale - p.Data[i])
+	}
+	if l1 > 0.05 {
+		t.Fatalf("L1 distance between sampled and source shape = %v", l1)
+	}
+}
+
+func TestGenerate2D(t *testing.T) {
+	d, _ := ByName("SF-CABS-S")
+	rng := rand.New(rand.NewSource(4))
+	x, err := d.Generate(rng, 10_000, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Scale() != 10_000 {
+		t.Fatalf("scale = %v", x.Scale())
+	}
+	if x.K() != 2 || x.Dims[0] != 64 {
+		t.Fatalf("dims = %v", x.Dims)
+	}
+}
+
+func TestGenerateScalePropertyAcrossDatasets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg := Registry1D()
+		d := reg[rng.Intn(len(reg))]
+		scale := 1 + rng.Intn(50_000)
+		x, err := d.Generate(rng, scale, 256)
+		if err != nil {
+			return false
+		}
+		return x.Scale() == float64(scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateZeroCellsNeverReceiveMass(t *testing.T) {
+	d, _ := ByName("ADULT") // 97.8% zeros
+	p := d.SourceShape()
+	rng := rand.New(rand.NewSource(5))
+	x, err := d.Generate(rng, 100_000, MaxDomain1D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Data {
+		if p.Data[i] == 0 && x.Data[i] != 0 {
+			t.Fatalf("cell %d has zero shape but %v sampled mass", i, x.Data[i])
+		}
+	}
+}
+
+func TestScalesAndDomainsMatchPaper(t *testing.T) {
+	if len(Scales) != 6 || Scales[0] != 1e3 || Scales[5] != 1e8 {
+		t.Fatalf("scales grid %v does not match Section 6.1", Scales)
+	}
+	if Domains1D[len(Domains1D)-1] != 4096 {
+		t.Fatalf("max 1D domain %v, want 4096", Domains1D)
+	}
+	if Domains2D[len(Domains2D)-1] != 256 {
+		t.Fatalf("max 2D side %v, want 256", Domains2D)
+	}
+}
+
+func TestDenseDatasetsHaveNoZeros(t *testing.T) {
+	for _, name := range []string{"BIDS-FJ", "BIDS-FM", "BIDS-ALL", "LC-DTIR-F1", "LC-DTIR-ALL"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zf := d.SourceShape().ZeroFraction(); zf != 0 {
+			t.Fatalf("%s: zero fraction %v, want 0", name, zf)
+		}
+	}
+}

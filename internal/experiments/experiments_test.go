@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrinks everything to smoke-test size: these tests validate
+// plumbing and output format end-to-end, not statistical conclusions (the
+// benchmark-grade runs live in bench_test.go and cmd/dpbench).
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{Out: buf, Quick: true, Seed: 7}
+}
+
+func TestOptionsGrids(t *testing.T) {
+	quick := Options{Quick: true}
+	full := Options{}
+	if quick.domain1D() >= full.domain1D() {
+		t.Fatal("quick 1D domain should be smaller")
+	}
+	if quick.samples() >= full.samples() || quick.trials() >= full.trials() {
+		t.Fatal("quick mode should use fewer samples/trials")
+	}
+	if full.domain2D() != 128 || full.queries2D() != 2000 {
+		t.Fatalf("full 2D grid %dx%d/%d queries does not match Section 6",
+			full.domain2D(), full.domain2D(), full.queries2D())
+	}
+	if len(quick.datasets1D()) == 0 || len(quick.datasets2D()) == 0 {
+		t.Fatal("quick dataset rosters empty")
+	}
+	if len(full.datasets1D()) != 18 || len(full.datasets2D()) != 9 {
+		t.Fatal("full mode must use every Table 2 dataset")
+	}
+}
+
+func TestRostersMatchFigure1(t *testing.T) {
+	a1 := algorithms1D()
+	if len(a1) != 11 {
+		t.Fatalf("Figure 1a roster has %d algorithms, want 11", len(a1))
+	}
+	a2 := algorithms2D()
+	if len(a2) != 11 {
+		t.Fatalf("Figure 1b roster has %d algorithms, want 11", len(a2))
+	}
+	for _, a := range a1 {
+		if !a.Supports(1) {
+			t.Fatalf("%s in the 1D roster does not support 1D", a.Name())
+		}
+	}
+	for _, a := range a2 {
+		if !a.Supports(2) {
+			t.Fatalf("%s in the 2D roster does not support 2D", a.Name())
+		}
+	}
+}
+
+func TestFig1aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	var buf bytes.Buffer
+	res, err := Fig1a(tinyOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1a") {
+		t.Fatalf("missing title in output:\n%s", out)
+	}
+	for _, name := range []string{"IDENTITY", "HB", "DAWA", "UNIFORM"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s row", name)
+		}
+	}
+	// Every (algorithm, dataset, scale) cell must be present.
+	want := 11 * len(tinyOptions(&buf).datasets1D()) * 3
+	if len(res.cells) != want {
+		t.Fatalf("%d cells, want %d", len(res.cells), want)
+	}
+	for _, c := range res.cells {
+		if c.Mean <= 0 || c.P95 < c.Mean*0 {
+			t.Fatalf("bad cell %+v", c)
+		}
+	}
+}
+
+func TestFinding6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	var buf bytes.Buffer
+	ratios, err := Finding6(tinyOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"MWEM", "AHP", "DAWA"} {
+		r, ok := ratios[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if r < 1 {
+			t.Fatalf("%s worst/best ratio %v < 1", name, r)
+		}
+	}
+}
+
+func TestExchangeabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	var buf bytes.Buffer
+	if err := Exchangeability(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "IDENTITY") {
+		t.Fatal("missing output rows")
+	}
+}
+
+func TestConsistencySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	var buf bytes.Buffer
+	if err := Consistency(tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// UNIFORM must be flagged as carrying a bias floor.
+	lines := strings.Split(out, "\n")
+	foundUniform := false
+	for _, l := range lines {
+		if strings.Contains(l, "UNIFORM") {
+			foundUniform = true
+			if !strings.Contains(l, "BIAS FLOOR") {
+				t.Fatalf("UNIFORM not flagged inconsistent: %q", l)
+			}
+		}
+		if strings.Contains(l, "IDENTITY") && strings.Contains(l, "BIAS FLOOR") {
+			t.Fatalf("IDENTITY flagged inconsistent: %q", l)
+		}
+	}
+	if !foundUniform {
+		t.Fatal("UNIFORM row missing")
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	var buf bytes.Buffer
+	counts, err := Table3(tinyOptions(&buf), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := tinyOptions(&buf)
+	nDatasets := len(opt.datasets1D())
+	for scale, perAlg := range counts {
+		total := 0
+		for _, c := range perAlg {
+			if c < 0 || c > nDatasets {
+				t.Fatalf("scale %d: count %d out of range", scale, c)
+			}
+			total += c
+		}
+		if total < nDatasets {
+			t.Fatalf("scale %d: only %d competitive entries over %d datasets (each dataset has >= 1)", scale, total, nDatasets)
+		}
+	}
+}
+
+func TestRegretSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	var buf bytes.Buffer
+	reg, err := Regret(tinyOptions(&buf), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg) != 11 {
+		t.Fatalf("regret for %d algorithms, want 11", len(reg))
+	}
+	for name, r := range reg {
+		if r < 1-1e-9 {
+			t.Fatalf("%s regret %v below 1 (impossible)", name, r)
+		}
+	}
+}

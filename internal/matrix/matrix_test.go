@@ -1,0 +1,267 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transform"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At broken")
+	}
+	out := m.MulVec([]float64{1, 1, 1})
+	if out[0] != 0 || out[1] != 7 {
+		t.Fatalf("MulVec = %v", out)
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestMulVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).MulVec([]float64{1})
+}
+
+func TestTransposeMulVec(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	out := m.TransposeMulVec([]float64{1, 1})
+	if out[0] != 4 || out[1] != 6 {
+		t.Fatalf("TransposeMulVec = %v", out)
+	}
+}
+
+func TestGramSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewDense(5, 3)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	g := m.Gram()
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if math.Abs(g.At(a, b)-g.At(b, a)) > 1e-12 {
+				t.Fatal("Gram not symmetric")
+			}
+			// Compare against direct computation.
+			var want float64
+			for i := 0; i < 5; i++ {
+				want += m.At(i, a) * m.At(i, b)
+			}
+			if math.Abs(g.At(a, b)-want) > 1e-9 {
+				t.Fatalf("Gram[%d][%d] = %v, want %v", a, b, g.At(a, b), want)
+			}
+		}
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	if got := IdentityStrategy(4).Sensitivity(); got != 1 {
+		t.Fatalf("identity sensitivity = %v", got)
+	}
+	// Binary hierarchy over n=4: each cell appears in 3 rows (cell, pair,
+	// root), so sensitivity is 3.
+	if got := HierarchicalStrategy(4, 2).Sensitivity(); got != 3 {
+		t.Fatalf("hierarchical sensitivity = %v, want 3", got)
+	}
+}
+
+func TestHaarStrategyUnitSensitivity(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		s, err := HaarStrategy(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Sensitivity(); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("n=%d: Haar sensitivity %v, want 1", n, got)
+		}
+	}
+	if _, err := HaarStrategy(3); err == nil {
+		t.Fatal("expected error for non-power-of-two")
+	}
+}
+
+func TestHaarStrategyMatchesTransform(t *testing.T) {
+	// The strategy matrix must compute exactly transform.HaarForward.
+	n := 16
+	s, err := HaarStrategy(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 10
+	}
+	got := s.MulVec(x)
+	want, err := transform.HaarForward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HaarForward lays out coefficients in level order starting with the
+	// average; the strategy uses the same order.
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("coefficient %d: strategy %v, transform %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// G = [[4,2],[2,3]], b = [2, 5] -> z = [-0.5, 2].
+	g := NewDense(2, 2)
+	g.Set(0, 0, 4)
+	g.Set(0, 1, 2)
+	g.Set(1, 0, 2)
+	g.Set(1, 1, 3)
+	z, err := CholeskySolve(g, []float64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z[0]+0.5) > 1e-9 || math.Abs(z[1]-2) > 1e-9 {
+		t.Fatalf("solution %v, want [-0.5, 2]", z)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	g := NewDense(2, 2)
+	g.Set(0, 0, 1)
+	g.Set(1, 1, -1)
+	if _, err := CholeskySolve(g, []float64{1, 1}); err == nil {
+		t.Fatal("expected positive-definite error")
+	}
+}
+
+func TestMechanismRecoversDataAtHugeBudget(t *testing.T) {
+	for _, strat := range []*Dense{IdentityStrategy(8), HierarchicalStrategy(8, 2)} {
+		mm, err := NewMechanism(strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := []float64{5, 3, 8, 1, 0, 9, 2, 7}
+		est, err := mm.Run(x, 1e9, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(est[i]-x[i]) > 1e-3 {
+				t.Fatalf("cell %d: %v want %v", i, est[i], x[i])
+			}
+		}
+	}
+}
+
+func TestMechanismRejectsBadInputs(t *testing.T) {
+	mm, _ := NewMechanism(IdentityStrategy(4))
+	if _, err := mm.Run([]float64{1, 2, 3}, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected size error")
+	}
+	if _, err := mm.Run([]float64{1, 2, 3, 4}, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected epsilon error")
+	}
+	wide := NewDense(2, 4)
+	if _, err := NewMechanism(wide); err == nil {
+		t.Fatal("expected rank error for wide strategy")
+	}
+}
+
+func TestIdentityExpectedVariance(t *testing.T) {
+	// Identity strategy: per-cell variance is exactly 2/eps^2.
+	mm, _ := NewMechanism(IdentityStrategy(6))
+	vars, err := mm.ExpectedCellVariances(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 / (0.5 * 0.5)
+	for i, v := range vars {
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("cell %d variance %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestHierarchicalVarianceBelowIdentityForTotal(t *testing.T) {
+	// The whole point of the matrix mechanism: a strategy can trade
+	// per-cell variance for range-query variance. Verify empirically that
+	// the hierarchical estimator's total-sum variance is below identity's
+	// at the same eps.
+	n := 64
+	eps := 0.2
+	x := make([]float64, n)
+	hier, _ := NewMechanism(HierarchicalStrategy(n, 2))
+	ident, _ := NewMechanism(IdentityStrategy(n))
+	rng := rand.New(rand.NewSource(4))
+	const trials = 200
+	var hVar, iVar float64
+	for trial := 0; trial < trials; trial++ {
+		he, err := hier.Run(x, eps, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ie, err := ident.Run(x, eps, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hs, is float64
+		for i := 0; i < n; i++ {
+			hs += he[i]
+			is += ie[i]
+		}
+		hVar += hs * hs
+		iVar += is * is
+	}
+	if hVar >= iVar {
+		t.Fatalf("hierarchical total variance %v not below identity %v", hVar/trials, iVar/trials)
+	}
+}
+
+func TestMechanismUnbiasedProperty(t *testing.T) {
+	// Least-squares reconstruction of full-rank strategies is unbiased:
+	// with zero noise (huge eps) the estimate equals x for random data.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		strat := HierarchicalStrategy(n, 2+rng.Intn(3))
+		mm, err := NewMechanism(strat)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(100))
+		}
+		est, err := mm.Run(x, 1e9, rng)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(est[i]-x[i]) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

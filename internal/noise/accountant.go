@@ -1,0 +1,104 @@
+package noise
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accountant tracks a privacy budget under sequential composition (Section
+// 2.1 of the paper: k subroutines satisfying eps_i-DP compose to
+// sum(eps_i)-DP). Mechanisms built from multiple subroutines use it to prove,
+// in tests, that their internal spends never exceed the caller's epsilon.
+// The zero value is unusable; construct with NewAccountant.
+type Accountant struct {
+	mu     sync.Mutex
+	total  float64
+	spent  float64
+	spends []Spend
+}
+
+// Spend is one recorded budget expenditure.
+type Spend struct {
+	// Label identifies the subroutine, e.g. "partition" or "counts".
+	Label string
+	// Eps is the budget consumed.
+	Eps float64
+	// Parallel marks spends that apply to disjoint data partitions; a
+	// maximal run of parallel spends with the same label counts once
+	// (parallel composition).
+	Parallel bool
+}
+
+// NewAccountant returns an accountant for the given total budget.
+func NewAccountant(total float64) (*Accountant, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("noise: non-positive total budget %v", total)
+	}
+	return &Accountant{total: total}, nil
+}
+
+// Spend consumes eps from the budget for a sequentially composed subroutine.
+// It returns an error (without recording) if the budget would be exceeded
+// beyond floating-point tolerance.
+func (a *Accountant) Spend(label string, eps float64) error {
+	return a.spend(label, eps, false)
+}
+
+// SpendParallel consumes eps for a parallel-composed family of subroutines
+// operating on disjoint partitions: repeated SpendParallel calls with the
+// same label only count the maximum once.
+func (a *Accountant) SpendParallel(label string, eps float64) error {
+	return a.spend(label, eps, true)
+}
+
+const budgetTolerance = 1e-9
+
+func (a *Accountant) spend(label string, eps float64, parallel bool) error {
+	if eps < 0 {
+		return fmt.Errorf("noise: negative spend %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	charge := eps
+	if parallel {
+		// Only the excess over the prior maximum for this label is charged.
+		var prevMax float64
+		for _, s := range a.spends {
+			if s.Parallel && s.Label == label && s.Eps > prevMax {
+				prevMax = s.Eps
+			}
+		}
+		if eps <= prevMax {
+			charge = 0
+		} else {
+			charge = eps - prevMax
+		}
+	}
+	if a.spent+charge > a.total+budgetTolerance {
+		return fmt.Errorf("noise: budget exceeded: spent %v + %v > total %v", a.spent, charge, a.total)
+	}
+	a.spent += charge
+	a.spends = append(a.spends, Spend{Label: label, Eps: eps, Parallel: parallel})
+	return nil
+}
+
+// Spent returns the budget consumed so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the unconsumed budget.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spent
+}
+
+// Ledger returns a copy of all recorded spends in order.
+func (a *Accountant) Ledger() []Spend {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Spend(nil), a.spends...)
+}

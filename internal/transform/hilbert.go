@@ -1,0 +1,94 @@
+package transform
+
+import "fmt"
+
+// HilbertD2XY converts a distance d along the Hilbert curve of order k (a
+// 2^k x 2^k grid) into (x, y) coordinates, using the classic rotation-based
+// construction.
+func HilbertD2XY(order uint, d int) (x, y int) {
+	t := d
+	for s := 1; s < 1<<order; s <<= 1 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// HilbertXY2D converts (x, y) coordinates on a 2^k x 2^k grid into the
+// distance along the Hilbert curve of order k.
+func HilbertXY2D(order uint, x, y int) int {
+	d := 0
+	for s := 1 << (order - 1); s > 0; s >>= 1 {
+		var rx, ry int
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+func hilbertRot(s, x, y, rx, ry int) (int, int) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// HilbertOrder returns k such that the grid is 2^k x 2^k, or an error if side
+// is not a power of two.
+func HilbertOrder(side int) (uint, error) {
+	if side <= 0 || side&(side-1) != 0 {
+		return 0, fmt.Errorf("transform: Hilbert side %d is not a power of two", side)
+	}
+	var k uint
+	for 1<<k < side {
+		k++
+	}
+	return k, nil
+}
+
+// HilbertLinearize maps a row-major 2D data slice on a side x side grid
+// (side a power of two) onto a 1D slice ordered by Hilbert distance, so
+// spatially adjacent cells tend to stay adjacent. The returned permutation
+// perm satisfies out[d] = data[perm[d]].
+func HilbertLinearize(data []float64, side int) (out []float64, perm []int, err error) {
+	order, err := HilbertOrder(side)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) != side*side {
+		return nil, nil, fmt.Errorf("transform: data length %d does not match %dx%d grid", len(data), side, side)
+	}
+	out = make([]float64, len(data))
+	perm = make([]int, len(data))
+	for d := range data {
+		x, y := HilbertD2XY(order, d)
+		src := y*side + x
+		out[d] = data[src]
+		perm[d] = src
+	}
+	return out, perm, nil
+}
+
+// HilbertDelinearize inverts HilbertLinearize given the permutation it
+// produced: result[perm[d]] = lin[d].
+func HilbertDelinearize(lin []float64, perm []int) []float64 {
+	out := make([]float64, len(lin))
+	for d, src := range perm {
+		out[src] = lin[d]
+	}
+	return out
+}

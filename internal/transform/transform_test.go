@@ -1,0 +1,268 @@
+package transform
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaarRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(8))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		c, err := HaarForward(x)
+		if err != nil {
+			return false
+		}
+		y, err := HaarInverse(c)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaarAverageCoefficient(t *testing.T) {
+	x := []float64{1, 3, 5, 7}
+	c, err := HaarForward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 4 { // average
+		t.Fatalf("c[0] = %v, want 4", c[0])
+	}
+	// Root detail: (avg(1,3) - avg(5,7))/2 = (2-6)/2 = -2.
+	if c[1] != -2 {
+		t.Fatalf("c[1] = %v, want -2", c[1])
+	}
+}
+
+func TestHaarRejectsNonPow2(t *testing.T) {
+	if _, err := HaarForward(make([]float64, 3)); err == nil {
+		t.Fatal("expected error for n=3")
+	}
+	if _, err := HaarInverse(make([]float64, 0)); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestHaarUnitSensitivity(t *testing.T) {
+	// Adding 1 to any single cell changes the coefficient vector by exactly
+	// 1 in L1 norm (this justifies Privelet's noise calibration).
+	for n := 2; n <= 64; n *= 2 {
+		for cell := 0; cell < n; cell += n/2 + 1 {
+			x := make([]float64, n)
+			c0, _ := HaarForward(x)
+			x[cell] = 1
+			c1, _ := HaarForward(x)
+			var l1 float64
+			for i := range c0 {
+				l1 += math.Abs(c1[i] - c0[i])
+			}
+			if math.Abs(l1-1) > 1e-9 {
+				t.Fatalf("n=%d cell=%d: L1 sensitivity %v, want 1", n, cell, l1)
+			}
+		}
+	}
+}
+
+func TestHaarLevel(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4}
+	for i, want := range cases {
+		if got := HaarLevel(i); got != want {
+			t.Fatalf("HaarLevel(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFFTRoundTripPow2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(9))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(x[i]-y[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTRoundTripArbitraryN(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(x[i]-y[i]) > 1e-7 {
+				t.Fatalf("n=%d: round trip error %v at %d", n, cmplx.Abs(x[i]-y[i]), i)
+			}
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{4, 8, 7, 12} {
+		rng := rand.New(rand.NewSource(int64(100 + n)))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := FFT(x)
+		for k := 0; k < n; k++ {
+			var want complex128
+			for j := 0; j < n; j++ {
+				ang := -2 * math.Pi * float64(k*j) / float64(n)
+				want += x[j] * cmplx.Exp(complex(0, ang))
+			}
+			if cmplx.Abs(got[k]-want) > 1e-7 {
+				t.Fatalf("n=%d k=%d: FFT %v, naive %v", n, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 256
+	x := make([]float64, n)
+	var tEnergy float64
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		tEnergy += x[i] * x[i]
+	}
+	F := FFTReal(x)
+	var fEnergy float64
+	for _, v := range F {
+		fEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(fEnergy/float64(n)-tEnergy) > 1e-8 {
+		t.Fatalf("Parseval violated: %v vs %v", fEnergy/float64(n), tEnergy)
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if FFT(nil) != nil {
+		t.Fatal("FFT(nil) should be nil")
+	}
+	if IFFT(nil) != nil {
+		t.Fatal("IFFT(nil) should be nil")
+	}
+}
+
+func TestHilbertBijection(t *testing.T) {
+	for _, order := range []uint{1, 2, 3, 5} {
+		side := 1 << order
+		seen := make(map[int]bool)
+		for d := 0; d < side*side; d++ {
+			x, y := HilbertD2XY(order, d)
+			if x < 0 || x >= side || y < 0 || y >= side {
+				t.Fatalf("order %d d=%d: out of range (%d,%d)", order, d, x, y)
+			}
+			if got := HilbertXY2D(order, x, y); got != d {
+				t.Fatalf("order %d: XY2D(D2XY(%d)) = %d", order, d, got)
+			}
+			key := y*side + x
+			if seen[key] {
+				t.Fatalf("order %d: cell (%d,%d) visited twice", order, x, y)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive curve positions are grid neighbours — the locality
+	// property DAWA relies on.
+	order := uint(4)
+	side := 1 << order
+	for d := 0; d+1 < side*side; d++ {
+		x0, y0 := HilbertD2XY(order, d)
+		x1, y1 := HilbertD2XY(order, d+1)
+		if manhattan(x0, y0, x1, y1) != 1 {
+			t.Fatalf("positions %d and %d not adjacent: (%d,%d) (%d,%d)", d, d+1, x0, y0, x1, y1)
+		}
+	}
+}
+
+func manhattan(x0, y0, x1, y1 int) int {
+	dx, dy := x1-x0, y1-y0
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+func TestHilbertOrder(t *testing.T) {
+	if k, err := HilbertOrder(64); err != nil || k != 6 {
+		t.Fatalf("HilbertOrder(64) = %d, %v", k, err)
+	}
+	if _, err := HilbertOrder(48); err == nil {
+		t.Fatal("expected error for non-power-of-two side")
+	}
+	if _, err := HilbertOrder(0); err == nil {
+		t.Fatal("expected error for zero side")
+	}
+}
+
+func TestHilbertLinearizeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		side := 1 << (1 + rng.Intn(5))
+		data := make([]float64, side*side)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		lin, perm, err := HilbertLinearize(data, side)
+		if err != nil {
+			return false
+		}
+		back := HilbertDelinearize(lin, perm)
+		for i := range data {
+			if data[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertLinearizeErrors(t *testing.T) {
+	if _, _, err := HilbertLinearize(make([]float64, 10), 4); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	if _, _, err := HilbertLinearize(make([]float64, 9), 3); err == nil {
+		t.Fatal("expected non-power-of-two error")
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload defines the query workloads W of the benchmark (Section
+// 6.2 of the paper): the 1D Prefix workload, random range-query workloads for
+// 1D and 2D, the identity workload, and the machinery to evaluate a workload
+// against a data vector. Queries are represented as axis-aligned ranges, the
+// (hyper-)rectangles of Section 2.2, rather than dense matrix rows, so
+// evaluation via prefix sums is O(q) after an O(n) precomputation.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Query is an inclusive multi-dimensional range query: it counts the cells
+// with Lo[j] <= index_j <= Hi[j] for every dimension j.
+type Query struct {
+	Lo, Hi []int
+}
+
+// Workload is a set of range queries over a fixed domain.
+type Workload struct {
+	// Name identifies the workload in reports.
+	Name string
+	// Dims is the domain the queries are defined over.
+	Dims []int
+	// Queries holds the range queries.
+	Queries []Query
+}
+
+// Size returns the number of queries q.
+func (w *Workload) Size() int { return len(w.Queries) }
+
+// Prefix returns the 1D Prefix workload over domain size n: queries [0, i]
+// for every i in [0, n). Any 1D range query is the difference of two prefix
+// queries, which is why the paper uses it as the canonical 1D workload.
+func Prefix(n int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("Prefix(%d)", n), Dims: []int{n}}
+	for i := 0; i < n; i++ {
+		w.Queries = append(w.Queries, Query{Lo: []int{0}, Hi: []int{i}})
+	}
+	return w
+}
+
+// Identity returns the workload of n point queries over a 1D domain.
+func Identity(n int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("Identity(%d)", n), Dims: []int{n}}
+	for i := 0; i < n; i++ {
+		w.Queries = append(w.Queries, Query{Lo: []int{i}, Hi: []int{i}})
+	}
+	return w
+}
+
+// AllRange returns all n*(n+1)/2 range queries over a 1D domain. Intended for
+// small n (tests and exact-variance computations).
+func AllRange(n int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("AllRange(%d)", n), Dims: []int{n}}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			w.Queries = append(w.Queries, Query{Lo: []int{i}, Hi: []int{j}})
+		}
+	}
+	return w
+}
+
+// RandomRange returns q uniformly random 1D range queries drawn with the
+// given rng.
+func RandomRange(n, q int, rng *rand.Rand) *Workload {
+	w := &Workload{Name: fmt.Sprintf("RandomRange(%d,%d)", n, q), Dims: []int{n}}
+	for k := 0; k < q; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a > b {
+			a, b = b, a
+		}
+		w.Queries = append(w.Queries, Query{Lo: []int{a}, Hi: []int{b}})
+	}
+	return w
+}
+
+// RandomRange2D returns q uniformly random rectangle queries over an
+// nx x ny domain, the paper's 2D workload (2000 random range queries).
+func RandomRange2D(nx, ny, q int, rng *rand.Rand) *Workload {
+	w := &Workload{Name: fmt.Sprintf("RandomRange2D(%dx%d,%d)", nx, ny, q), Dims: []int{ny, nx}}
+	for k := 0; k < q; k++ {
+		x0, x1 := rng.Intn(nx), rng.Intn(nx)
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y0, y1 := rng.Intn(ny), rng.Intn(ny)
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		w.Queries = append(w.Queries, Query{Lo: []int{y0, x0}, Hi: []int{y1, x1}})
+	}
+	return w
+}
+
+// Evaluate computes the exact workload answers y = Wx. The vector's
+// dimensions must match the workload's.
+func (w *Workload) Evaluate(v *vec.Vector) ([]float64, error) {
+	if len(v.Dims) != len(w.Dims) {
+		return nil, fmt.Errorf("workload: dimensionality mismatch %v vs %v", v.Dims, w.Dims)
+	}
+	for i := range v.Dims {
+		if v.Dims[i] != w.Dims[i] {
+			return nil, fmt.Errorf("workload: domain mismatch %v vs %v", v.Dims, w.Dims)
+		}
+	}
+	switch len(w.Dims) {
+	case 1:
+		return w.evaluate1D(v.Data), nil
+	case 2:
+		return w.evaluate2D(v.Data, w.Dims[1], w.Dims[0]), nil
+	default:
+		return nil, fmt.Errorf("workload: unsupported dimensionality %d", len(w.Dims))
+	}
+}
+
+// EvaluateFlat is Evaluate for a raw estimate slice already known to match
+// the workload's domain (the common case for algorithm outputs).
+func (w *Workload) EvaluateFlat(data []float64) []float64 {
+	switch len(w.Dims) {
+	case 1:
+		return w.evaluate1D(data)
+	case 2:
+		return w.evaluate2D(data, w.Dims[1], w.Dims[0])
+	default:
+		panic(fmt.Sprintf("workload: unsupported dimensionality %d", len(w.Dims)))
+	}
+}
+
+func (w *Workload) evaluate1D(data []float64) []float64 {
+	n := w.Dims[0]
+	prefix := make([]float64, n+1)
+	for i, x := range data {
+		prefix[i+1] = prefix[i] + x
+	}
+	out := make([]float64, len(w.Queries))
+	for k, q := range w.Queries {
+		out[k] = prefix[q.Hi[0]+1] - prefix[q.Lo[0]]
+	}
+	return out
+}
+
+func (w *Workload) evaluate2D(data []float64, nx, ny int) []float64 {
+	// 2D summed-area table: sat[y][x] = sum of cells with row < y, col < x.
+	sat := make([]float64, (nx+1)*(ny+1))
+	at := func(y, x int) float64 { return sat[y*(nx+1)+x] }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			sat[(y+1)*(nx+1)+x+1] = data[y*nx+x] + at(y, x+1) + at(y+1, x) - at(y, x)
+		}
+	}
+	out := make([]float64, len(w.Queries))
+	for k, q := range w.Queries {
+		y0, x0, y1, x1 := q.Lo[0], q.Lo[1], q.Hi[0], q.Hi[1]
+		out[k] = at(y1+1, x1+1) - at(y0, x1+1) - at(y1+1, x0) + at(y0, x0)
+	}
+	return out
+}
+
+// CellWeights returns, for each cell of the domain, the number of workload
+// queries covering it. GreedyH uses this to weight hierarchy levels, and
+// MWEM's update step needs per-query membership tests, served by Covers.
+func (w *Workload) CellWeights() []float64 {
+	n := 1
+	for _, d := range w.Dims {
+		n *= d
+	}
+	out := make([]float64, n)
+	switch len(w.Dims) {
+	case 1:
+		// Difference array over inclusive ranges.
+		diff := make([]float64, n+1)
+		for _, q := range w.Queries {
+			diff[q.Lo[0]]++
+			diff[q.Hi[0]+1]--
+		}
+		var run float64
+		for i := 0; i < n; i++ {
+			run += diff[i]
+			out[i] = run
+		}
+	case 2:
+		ny, nx := w.Dims[0], w.Dims[1]
+		diff := make([]float64, (ny+1)*(nx+1))
+		for _, q := range w.Queries {
+			y0, x0, y1, x1 := q.Lo[0], q.Lo[1], q.Hi[0], q.Hi[1]
+			diff[y0*(nx+1)+x0]++
+			diff[y0*(nx+1)+x1+1]--
+			diff[(y1+1)*(nx+1)+x0]--
+			diff[(y1+1)*(nx+1)+x1+1]++
+		}
+		for y := 0; y < ny; y++ {
+			var run float64
+			for x := 0; x < nx; x++ {
+				run += diff[y*(nx+1)+x]
+				if y > 0 {
+					out[y*nx+x] = out[(y-1)*nx+x] + run
+				} else {
+					out[y*nx+x] = run
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Covers reports whether query k covers the flat cell index.
+func (w *Workload) Covers(k, cell int) bool {
+	q := w.Queries[k]
+	switch len(w.Dims) {
+	case 1:
+		return cell >= q.Lo[0] && cell <= q.Hi[0]
+	case 2:
+		nx := w.Dims[1]
+		y, x := cell/nx, cell%nx
+		return y >= q.Lo[0] && y <= q.Hi[0] && x >= q.Lo[1] && x <= q.Hi[1]
+	default:
+		panic("workload: unsupported dimensionality")
+	}
+}
+
+// Sensitivity returns the L1 sensitivity of the workload when answered
+// directly: the maximum number of queries any single cell participates in.
+func (w *Workload) Sensitivity() float64 {
+	weights := w.CellWeights()
+	var m float64
+	for _, v := range weights {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
