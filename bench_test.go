@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -167,6 +168,82 @@ func BenchmarkConsistency(b *testing.B) {
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if err := experiments.Consistency(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Serial vs parallel experiment runner (the determinism guarantee makes
+// these directly comparable: both produce bit-identical results) ---
+
+func runnerBenchConfig(b *testing.B) core.Config {
+	d, err := dataset.ByName("MEDCOST")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(name string) algo.Algorithm {
+		a, err := algo.New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	return core.Config{
+		Dataset:     d,
+		Dims:        []int{1024},
+		Scale:       100_000,
+		Eps:         0.1,
+		Workload:    workload.Prefix(1024),
+		Algorithms:  []algo.Algorithm{mk("HB"), mk("DAWA"), mk("MWEM"), mk("EFPA")},
+		DataSamples: 2,
+		Trials:      3,
+		Seed:        20160626,
+	}
+}
+
+// BenchmarkRunSerial measures one experimental setting on the serial runner.
+func BenchmarkRunSerial(b *testing.B) {
+	cfg := runnerBenchConfig(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunParallel measures the identical setting on the worker pool at
+// several widths; compare against BenchmarkRunSerial for the speedup.
+func BenchmarkRunParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := runnerBenchConfig(b)
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunParallel(cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepSerial runs the Figure 1a grid sweep on a single worker.
+func BenchmarkSweepSerial(b *testing.B) {
+	opt := benchOptions()
+	opt.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1aData(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel4 runs the identical grid sweep with -workers=4; the
+// acceptance target is >1.5x over BenchmarkSweepSerial on a multi-core box.
+func BenchmarkSweepParallel4(b *testing.B) {
+	opt := benchOptions()
+	opt.Workers = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1aData(opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,7 +6,10 @@
 //
 //	dpbench -experiment fig1a            # quick grid (seconds..minutes)
 //	dpbench -experiment tab3b -full      # the paper's full grid (slow)
-//	dpbench -experiment all
+//	dpbench -experiment all -workers 8   # bound the experiment worker pool
+//
+// The grid runs on a bounded worker pool (default: GOMAXPROCS); output is
+// bit-identical for every -workers value, including 1.
 //
 // Experiments: fig1a fig1b fig2a fig2b fig2c tab3a tab3b find6 find7 find8
 // find9 find10 regret1d regret2d exch cons all.
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -26,10 +30,11 @@ func main() {
 		experiment = flag.String("experiment", "fig1a", "which paper artifact to regenerate (or 'all')")
 		full       = flag.Bool("full", false, "run the paper's full grid instead of the quick one")
 		seed       = flag.Int64("seed", 20160626, "random seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the experiment grid (results are identical for any value)")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed}
+	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers}
 
 	runners := map[string]func() error{
 		"fig1a":    func() error { _, err := experiments.Fig1a(opt); return err },

@@ -8,5 +8,12 @@
 // transforms, trees, workloads, datasets, statistics) in their own packages.
 // The cmd/dpbench binary regenerates every table and figure of the paper;
 // the root-level benchmarks (bench_test.go) expose the same experiments as
-// `go test -bench` targets. See README.md, DESIGN.md and EXPERIMENTS.md.
+// `go test -bench` targets, including serial-vs-parallel runner comparisons.
+//
+// The experiment grid runs on a bounded worker pool (core.RunParallel and
+// the parallel sweep in internal/experiments; -workers on the CLI) with a
+// hard determinism guarantee: every (sample, trial, algorithm) cell draws
+// from its own SplitMix64-derived RNG stream and writes into a pre-sized,
+// coordinate-indexed slot, so output is bit-identical for every worker
+// count, including the serial path. See README.md.
 package repro

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/vec"
+)
+
+// vecWithAnswers pairs one generated data sample with its true workload
+// answers.
+type vecWithAnswers struct {
+	x       *vec.Vector
+	trueAns []float64
+}
+
+// ParallelFor runs fn(0), ..., fn(n-1) on at most workers goroutines
+// (workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 runs inline). The
+// first error stops dispatch of not-yet-started indices — in-flight calls
+// finish — and is returned after all started calls complete. Callers get
+// deterministic output by writing fn's result into a slot indexed by i, so
+// scheduling order never matters.
+func ParallelFor(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	tasks := make(chan int)
+	done := make(chan struct{})
+	var (
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(done)
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(tasks)
+		for i := 0; i < n; i++ {
+			select {
+			case tasks <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	return firstErr
+}
+
+// RunParallel executes the same experimental setting as Run, fanning the
+// independent (sample, trial, algorithm) cells out over a bounded worker
+// pool, and returns bit-identical results: every cell draws from the same
+// deriveSeed RNG stream as the serial path and writes into a pre-sized slot
+// indexed by (sample, trial), so neither scheduling nor collection order can
+// affect the output. workers <= 0 falls back to cfg.Parallelism, then to
+// runtime.GOMAXPROCS(0). The first cell error cancels the remaining work and
+// is propagated.
+func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
+	p, err := cfg.plan()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = cfg.Parallelism
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Phase 1: draw every data sample concurrently; each sample has its own
+	// generator stream, so sample s's vector is independent of who builds it.
+	xs := make([]*vecWithAnswers, p.samples)
+	err = ParallelFor(workers, p.samples, func(s int) error {
+		x, trueAns, err := generateSample(cfg, s)
+		if err != nil {
+			return err
+		}
+		xs[s] = &vecWithAnswers{x: x, trueAns: trueAns}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: fan out all cells. Cell c decodes to (s, t, i) in the serial
+	// loop order; its result lands in results[i].Errors[s*trials+t].
+	results := newResults(cfg, p)
+	perSample := p.trials * len(cfg.Algorithms)
+	err = ParallelFor(workers, p.samples*perSample, func(c int) error {
+		s := c / perSample
+		t := (c % perSample) / len(cfg.Algorithms)
+		i := c % len(cfg.Algorithms)
+		e, err := runCell(cfg, p, xs[s].x, xs[s].trueAns, s, t, i)
+		if err != nil {
+			return err
+		}
+		results[i].Errors[s*p.trials+t] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/dataset"
 	"repro/internal/stats"
+	"repro/internal/vec"
 	"repro/internal/workload"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	Seed int64
 	// Loss defaults to L2Loss.
 	Loss LossFunc
+	// Parallelism is the worker count RunParallel uses when its workers
+	// argument is <= 0. Zero means runtime.GOMAXPROCS(0). Serial Run
+	// ignores it.
+	Parallelism int
 }
 
 // AlgResult holds every scaled-error observation for one algorithm in one
@@ -54,61 +59,107 @@ func (r AlgResult) MeanError() float64 { return stats.Mean(r.Errors) }
 // measure of Principle 8).
 func (r AlgResult) P95Error() float64 { return stats.Percentile(r.Errors, 95) }
 
-// newRNG builds a deterministic RNG from a seed.
-func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// newRNG builds a deterministic RNG whose stream identity is the full 64-bit
+// seed (see splitMix64Source).
+func newRNG(seed int64) *rand.Rand { return rand.New(&splitMix64Source{state: uint64(seed)}) }
+
+// runPlan is a Config with defaults applied, shared by Run and RunParallel so
+// both paths execute exactly the same cells.
+type runPlan struct {
+	samples, trials int
+	loss            LossFunc
+	q               int
+}
+
+// plan validates the config and resolves the defaulted fields.
+func (cfg *Config) plan() (runPlan, error) {
+	if cfg.Workload == nil {
+		return runPlan{}, fmt.Errorf("core: config has no workload")
+	}
+	if len(cfg.Algorithms) == 0 {
+		return runPlan{}, fmt.Errorf("core: config has no algorithms")
+	}
+	if cfg.Scale <= 0 {
+		return runPlan{}, fmt.Errorf("core: non-positive scale %d", cfg.Scale)
+	}
+	p := runPlan{samples: cfg.DataSamples, trials: cfg.Trials, loss: cfg.Loss, q: cfg.Workload.Size()}
+	if p.samples <= 0 {
+		p.samples = 3
+	}
+	if p.trials <= 0 {
+		p.trials = 3
+	}
+	if p.loss == nil {
+		p.loss = L2Loss
+	}
+	return p, nil
+}
+
+// newResults pre-sizes one error slot per (sample, trial) observation for
+// each algorithm, so serial and parallel execution fill identical layouts
+// regardless of completion order. Slot (s, t) lives at index s*trials+t,
+// matching the serial loop order.
+func newResults(cfg Config, p runPlan) []AlgResult {
+	results := make([]AlgResult, len(cfg.Algorithms))
+	for i, a := range cfg.Algorithms {
+		results[i].Name = a.Name()
+		results[i].Errors = make([]float64, p.samples*p.trials)
+	}
+	return results
+}
+
+// generateSample draws sample s's data vector from the generator on its
+// dedicated RNG stream and evaluates the workload's true answers.
+func generateSample(cfg Config, s int) (*vec.Vector, []float64, error) {
+	genRNG := newRNG(generatorSeed(cfg.Seed, s))
+	x, err := cfg.Dataset.Generate(genRNG, cfg.Scale, cfg.Dims...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: generating %s: %w", cfg.Dataset.Name, err)
+	}
+	trueAns, err := cfg.Workload.Evaluate(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, trueAns, nil
+}
+
+// runCell executes one (sample, trial, algorithm) cell on its own RNG stream
+// and returns the scaled error.
+func runCell(cfg Config, p runPlan, x *vec.Vector, trueAns []float64, s, t, i int) (float64, error) {
+	a := cfg.Algorithms[i]
+	runRNG := newRNG(deriveSeed(cfg.Seed, s, t, i))
+	est, err := a.Run(x, cfg.Workload, cfg.Eps, runRNG)
+	if err != nil {
+		return 0, fmt.Errorf("core: %s on %s: %w", a.Name(), cfg.Dataset.Name, err)
+	}
+	estAns := cfg.Workload.EvaluateFlat(est)
+	return ScaledError(p.loss(estAns, trueAns), float64(cfg.Scale), p.q), nil
+}
 
 // Run executes one experimental setting and returns per-algorithm results in
 // the order of cfg.Algorithms. Each algorithm sees the same sequence of data
 // vectors; every (vector, trial, algorithm) triple gets an independent
-// deterministic RNG stream so results are reproducible and algorithms do not
-// perturb each other's randomness.
+// deterministic RNG stream (derived via SplitMix64, see deriveSeed) so
+// results are reproducible and algorithms do not perturb each other's
+// randomness. RunParallel computes the identical output concurrently.
 func Run(cfg Config) ([]AlgResult, error) {
-	if cfg.Workload == nil {
-		return nil, fmt.Errorf("core: config has no workload")
+	p, err := cfg.plan()
+	if err != nil {
+		return nil, err
 	}
-	if len(cfg.Algorithms) == 0 {
-		return nil, fmt.Errorf("core: config has no algorithms")
-	}
-	if cfg.Scale <= 0 {
-		return nil, fmt.Errorf("core: non-positive scale %d", cfg.Scale)
-	}
-	samples := cfg.DataSamples
-	if samples <= 0 {
-		samples = 3
-	}
-	trials := cfg.Trials
-	if trials <= 0 {
-		trials = 3
-	}
-	loss := cfg.Loss
-	if loss == nil {
-		loss = L2Loss
-	}
-	results := make([]AlgResult, len(cfg.Algorithms))
-	for i, a := range cfg.Algorithms {
-		results[i].Name = a.Name()
-	}
-	q := cfg.Workload.Size()
-	for s := 0; s < samples; s++ {
-		genRNG := newRNG(cfg.Seed ^ int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)*int64(s+1))
-		x, err := cfg.Dataset.Generate(genRNG, cfg.Scale, cfg.Dims...)
-		if err != nil {
-			return nil, fmt.Errorf("core: generating %s: %w", cfg.Dataset.Name, err)
-		}
-		trueAns, err := cfg.Workload.Evaluate(x)
+	results := newResults(cfg, p)
+	for s := 0; s < p.samples; s++ {
+		x, trueAns, err := generateSample(cfg, s)
 		if err != nil {
 			return nil, err
 		}
-		for t := 0; t < trials; t++ {
-			for i, a := range cfg.Algorithms {
-				runRNG := newRNG(cfg.Seed + int64(s)*1_000_003 + int64(t)*7_919 + int64(i)*104_729 + 17)
-				est, err := a.Run(x, cfg.Workload, cfg.Eps, runRNG)
+		for t := 0; t < p.trials; t++ {
+			for i := range cfg.Algorithms {
+				e, err := runCell(cfg, p, x, trueAns, s, t, i)
 				if err != nil {
-					return nil, fmt.Errorf("core: %s on %s: %w", a.Name(), cfg.Dataset.Name, err)
+					return nil, err
 				}
-				estAns := cfg.Workload.EvaluateFlat(est)
-				e := ScaledError(loss(estAns, trueAns), float64(cfg.Scale), q)
-				results[i].Errors = append(results[i].Errors, e)
+				results[i].Errors[s*p.trials+t] = e
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/algo"
@@ -29,6 +30,18 @@ type Options struct {
 	Quick bool
 	// Seed fixes all randomness.
 	Seed int64
+	// Workers bounds the worker pool that runs independent grid cells
+	// (dataset x scale, and the sample/trial/algorithm cells within each)
+	// concurrently. <= 0 means runtime.GOMAXPROCS(0). Results are
+	// bit-identical for every worker count.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) samples() int {
@@ -152,25 +165,51 @@ type sweepResult struct {
 }
 
 func (o Options) sweep(algos []algo.Algorithm, datasets []dataset.Dataset, dims []int, scales []int, w *workload.Workload) (*sweepResult, error) {
+	// Every (scale, dataset) grid cell is an independent experiment, so the
+	// whole grid fans out over one worker pool; each cell additionally fans
+	// its (sample, trial, algorithm) cells out via RunParallel. The worker
+	// budget is split across the two levels — grid * per-cell <= workers —
+	// so -workers stays a real bound: a wide grid parallelizes across cells,
+	// a one-cell grid (e.g. Fig2c's per-domain sweeps) inside the cell.
+	// per[c] is the pre-sized slot for cell c, so collection order never
+	// affects output.
+	workers := o.workers()
+	nds := len(datasets)
+	per := make([][]core.AlgResult, len(scales)*nds)
+	grid := workers
+	if grid > len(per) {
+		grid = len(per)
+	}
+	err := core.ParallelFor(grid, len(per), func(c int) error {
+		scale, d := scales[c/nds], datasets[c%nds]
+		cfg := core.Config{
+			Dataset:     d,
+			Dims:        dims,
+			Scale:       scale,
+			Eps:         Eps,
+			Workload:    w,
+			Algorithms:  algos,
+			DataSamples: o.samples(),
+			Trials:      o.trials(),
+			Seed:        o.Seed + int64(scale),
+			Parallelism: workers / grid,
+		}
+		results, err := core.RunParallel(cfg, 0)
+		if err != nil {
+			return err
+		}
+		per[c] = results
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Assemble in the serial (scale-major, dataset-minor) order.
 	out := &sweepResult{raw: map[int]map[string][]core.AlgResult{}}
-	for _, scale := range scales {
+	for si, scale := range scales {
 		out.raw[scale] = map[string][]core.AlgResult{}
-		for _, d := range datasets {
-			cfg := core.Config{
-				Dataset:     d,
-				Dims:        dims,
-				Scale:       scale,
-				Eps:         Eps,
-				Workload:    w,
-				Algorithms:  algos,
-				DataSamples: o.samples(),
-				Trials:      o.trials(),
-				Seed:        o.Seed + int64(scale),
-			}
-			results, err := core.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for di, d := range datasets {
+			results := per[si*nds+di]
 			out.raw[scale][d.Name] = results
 			for _, r := range results {
 				out.cells = append(out.cells, CellResult{

@@ -60,7 +60,7 @@ func Finding6(o Options) (map[string]float64, error) {
 			Workload: w, Algorithms: variants[name],
 			DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + 60,
 		}
-		results, err := core.Run(cfg)
+		results, err := core.RunParallel(cfg, o.workers())
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +103,7 @@ func Finding7(o Options) (map[int]float64, error) {
 				Workload: w, Algorithms: algos,
 				DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + int64(scale) + 70,
 			}
-			results, err := core.Run(cfg)
+			results, err := core.RunParallel(cfg, o.workers())
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// sweepOptions returns Options for a tiny grid with the given worker count.
+func sweepOptions(workers int) Options {
+	return Options{Out: io.Discard, Quick: true, Seed: 7, Workers: workers}
+}
+
+// tinySweep runs a small but multi-cell (2 scales x 2 datasets) grid.
+func tinySweep(t *testing.T, o Options) *sweepResult {
+	t.Helper()
+	algos := roster("IDENTITY", "UNIFORM", "HB")
+	all := dataset.Registry1D()
+	ds := []dataset.Dataset{all[0], all[1]}
+	res, err := o.sweep(algos, ds, []int{128}, []int{1e3, 1e4}, workload.Prefix(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSweepDeterministicAcrossWorkerCounts asserts the grid-level guarantee:
+// the sweep's cells and raw results are bit-identical for 1, 2, and 8
+// workers, in the same (scale-major, dataset-minor) order.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := tinySweep(t, sweepOptions(1))
+	for _, workers := range []int{2, 8} {
+		got := tinySweep(t, sweepOptions(workers))
+		if len(got.cells) != len(base.cells) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(got.cells), len(base.cells))
+		}
+		for i := range base.cells {
+			if got.cells[i] != base.cells[i] {
+				t.Fatalf("workers=%d: cell %d = %+v, want %+v", workers, i, got.cells[i], base.cells[i])
+			}
+		}
+		for scale, perDataset := range base.raw {
+			for name, results := range perDataset {
+				other := got.raw[scale][name]
+				if len(other) != len(results) {
+					t.Fatalf("workers=%d: raw[%d][%s] has %d results, want %d",
+						workers, scale, name, len(other), len(results))
+				}
+				for i := range results {
+					for j := range results[i].Errors {
+						if other[i].Errors[j] != results[i].Errors[j] {
+							t.Fatalf("workers=%d: raw[%d][%s][%s] observation %d differs",
+								workers, scale, name, results[i].Name, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersDefault: Workers <= 0 resolves to a positive pool size.
+func TestWorkersDefault(t *testing.T) {
+	if w := (Options{}).workers(); w < 1 {
+		t.Fatalf("default workers = %d, want >= 1", w)
+	}
+	if w := (Options{Workers: 3}).workers(); w != 3 {
+		t.Fatalf("workers = %d, want 3", w)
+	}
+}
