@@ -455,6 +455,60 @@ func BenchmarkAblationHilbert(b *testing.B) {
 	})
 }
 
+// --- Hot-path microbenchmarks for the allocation-free kernels ---
+
+// BenchmarkEvaluatorPrefix4096 measures one Reset+AnswerAll cycle of the
+// reusable workload Evaluator at the paper's full 1D domain; the fast path
+// must report zero allocs/op.
+func BenchmarkEvaluatorPrefix4096(b *testing.B) {
+	w := workload.Prefix(4096)
+	ev := workload.NewEvaluator(w)
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = float64(i % 17)
+	}
+	out := make([]float64, w.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Reset(data)
+		ev.AnswerAll(out)
+	}
+}
+
+// BenchmarkEvaluatorLegacyEvaluateFlat is the allocating per-call baseline
+// the Evaluator replaces; compare with BenchmarkEvaluatorPrefix4096.
+func BenchmarkEvaluatorLegacyEvaluateFlat(b *testing.B) {
+	w := workload.Prefix(4096)
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = float64(i % 17)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.EvaluateFlat(data)
+	}
+}
+
+// BenchmarkEvaluator2D measures the summed-area-table path on the paper's 2D
+// workload shape (2000 random rectangles over 128x128).
+func BenchmarkEvaluator2D(b *testing.B) {
+	w := workload.RandomRange2D(128, 128, 2000, rand.New(rand.NewSource(21)))
+	ev := workload.NewEvaluator(w)
+	data := make([]float64, 128*128)
+	for i := range data {
+		data[i] = float64(i % 13)
+	}
+	out := make([]float64, w.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Reset(data)
+		ev.AnswerAll(out)
+	}
+}
+
 // BenchmarkGeneratorG measures the data generator's multinomial sampling at
 // the paper's largest scale.
 func BenchmarkGeneratorG(b *testing.B) {

@@ -7,9 +7,13 @@
 //	dpbench -experiment fig1a            # quick grid (seconds..minutes)
 //	dpbench -experiment tab3b -full      # the paper's full grid (slow)
 //	dpbench -experiment all -workers 8   # bound the experiment worker pool
+//	dpbench -experiment all -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The grid runs on a bounded worker pool (default: GOMAXPROCS); output is
-// bit-identical for every -workers value, including 1.
+// bit-identical for every -workers value, including 1. The -cpuprofile and
+// -memprofile flags write pprof profiles covering the whole run, so
+// performance work on the grid can be driven by evidence
+// (go tool pprof cpu.prof).
 //
 // Experiments: fig1a fig1b fig2a fig2b fig2c tab3a tab3b find6 find7 find8
 // find9 find10 regret1d regret2d exch cons all.
@@ -20,19 +24,56 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so deferred cleanups (profile flushes) execute
+// before the process exits with a status code.
+func run() int {
 	var (
 		experiment = flag.String("experiment", "fig1a", "which paper artifact to regenerate (or 'all')")
 		full       = flag.Bool("full", false, "run the paper's full grid instead of the quick one")
 		seed       = flag.Int64("seed", 20160626, "random seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the experiment grid (results are identical for any value)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush pending frees so the heap profile is settled
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers}
 
@@ -64,7 +105,7 @@ func main() {
 		names = []string{*experiment}
 	} else {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or 'all'\n", *experiment, order)
-		os.Exit(2)
+		return 2
 	}
 
 	for _, name := range names {
@@ -72,8 +113,9 @@ func main() {
 		fmt.Printf("=== %s ===\n", name)
 		if err := runners[name](); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("(%s completed in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -15,5 +15,14 @@
 // hard determinism guarantee: every (sample, trial, algorithm) cell draws
 // from its own SplitMix64-derived RNG stream and writes into a pre-sized,
 // coordinate-indexed slot, so output is bit-identical for every worker
-// count, including the serial path. See README.md.
+// count, including the serial path.
+//
+// The per-trial hot path is allocation-free: workload query bounds are
+// stored flat (struct-of-arrays) and answered through the reusable
+// workload.Evaluator; MWEM applies range-based multiplicative-weight updates
+// with a deferred renormalization scalar; DAWA's partition costs are
+// computed by merging sorted half-intervals (dyadic) or a rank-indexed
+// Fenwick scanner (the unrestricted ablation); and the runners pool
+// per-worker scratch buffers. Golden tests pin every optimized path to the
+// seed implementations. See README.md ("Performance").
 package repro

@@ -135,30 +135,36 @@ func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []i
 	var cands []candidate
 	if d.NoDyadicRestriction {
 		// Exact O(n^2) interval set (ablation only; noise calibrated to the
-		// larger sensitivity n since a cell is in O(n) intervals).
+		// larger sensitivity n since a cell is in O(n) intervals). The
+		// deviation of [lo, hi) is maintained incrementally over hi by a
+		// rank-indexed Fenwick scanner, O(log n) per interval instead of a
+		// from-scratch O(hi-lo) pass.
 		allNoise := 2 * float64(n) / eps1
+		cands = make([]candidate, 0, n*(n+1)/2)
+		scan := newL1DevScanner(data)
 		for lo := 0; lo < n; lo++ {
-			// Incremental mean-absolute-deviation via a running multiset is
-			// costly; recompute with sorted prefix (acceptable for the
-			// ablation's small n).
+			scan.Restart()
 			for hi := lo + 1; hi <= n; hi++ {
-				c := l1Deviation(data[lo:hi]) + noise.Laplace(rng, allNoise)
+				scan.Push(hi - 1)
+				c := scan.Deviation() + noise.Laplace(rng, allNoise)
 				cands = append(cands, candidate{lo, hi, c})
 			}
 		}
 	} else {
-		for size := 1; size <= n; size <<= 1 {
-			for lo := 0; lo+size <= n; lo += size {
-				c := l1Deviation(data[lo:lo+size]) + noise.Laplace(rng, costNoise)
-				// Deviation costs are non-negative by construction; clamping
-				// the noisy value is post-processing and stops the DP from
-				// chasing spuriously negative costs.
-				if c < 0 {
-					c = 0
-				}
-				cands = append(cands, candidate{lo, lo + size, c})
+		// All aligned dyadic intervals, costs computed bottom-up by merging
+		// sorted halves; the visit order matches the seed enumeration
+		// (ascending size, then lo), so the noise stream is unchanged.
+		cands = make([]candidate, 0, 2*n)
+		dyadicDeviations(data, func(lo, size int, dev float64) {
+			c := dev + noise.Laplace(rng, costNoise)
+			// Deviation costs are non-negative by construction; clamping
+			// the noisy value is post-processing and stops the DP from
+			// chasing spuriously negative costs.
+			if c < 0 {
+				c = 0
 			}
-		}
+			cands = append(cands, candidate{lo, lo + size, c})
+		})
 	}
 
 	// DP over bucket endpoints: best[j] = min cost to cover [0, j).
@@ -188,23 +194,6 @@ func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []i
 	return bounds
 }
 
-// l1Deviation returns sum_i |x_i - mean(x)|, the uniformity cost of a bucket.
-func l1Deviation(xs []float64) float64 {
-	if len(xs) <= 1 {
-		return 0
-	}
-	var mean float64
-	for _, v := range xs {
-		mean += v
-	}
-	mean /= float64(len(xs))
-	var s float64
-	for _, v := range xs {
-		s += math.Abs(v - mean)
-	}
-	return s
-}
-
 // bucketLevelWeights maps the cell-level workload onto the bucket domain and
 // computes canonical level weights there, so stage two's budget allocation
 // remains workload-aware. Returns nil (uniform) when no usable workload.
@@ -220,11 +209,10 @@ func bucketLevelWeights(n, k, b int, bounds []int, w *workload.Workload) []float
 		}
 	}
 	mapped := &workload.Workload{Name: w.Name + "/buckets", Dims: []int{k}}
-	for _, q := range w.Queries {
-		mapped.Queries = append(mapped.Queries, workload.Query{
-			Lo: []int{cellToBucket[q.Lo[0]]},
-			Hi: []int{cellToBucket[q.Hi[0]]},
-		})
+	mapped.Grow(w.Size())
+	for qi := 0; qi < w.Size(); qi++ {
+		lo, hi := w.Range(qi)
+		mapped.AddRange(cellToBucket[lo], cellToBucket[hi])
 	}
 	return CanonicalLevelWeights(k, b, mapped)
 }

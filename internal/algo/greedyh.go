@@ -127,16 +127,19 @@ func CanonicalLevelWeights(n, b int, w *workload.Workload) []float64 {
 	}
 	h := root.Height()
 	weights := make([]float64, h)
-	for _, q := range w.Queries {
-		countCanonical(root, 0, q.Lo[0], q.Hi[0], weights)
+	for k := 0; k < w.Size(); k++ {
+		lo, hi := w.Range(k)
+		countCanonical(root, 0, lo, hi, weights)
 	}
 	return weights
 }
 
 // countCanonical walks the interval tree accumulating, per level, the number
 // of maximal nodes fully contained in the inclusive query range [lo, hi].
+// Node spans are cached at build time (tree.Node.Span), so each visited node
+// costs O(1) instead of a recursive descent to its extreme leaves.
 func countCanonical(nd *tree.Node, depth, lo, hi int, weights []float64) {
-	nlo, nhi := nodeSpan(nd)
+	nlo, nhi := nd.Span()
 	if nhi < lo || nlo > hi {
 		return
 	}
@@ -147,14 +150,4 @@ func countCanonical(nd *tree.Node, depth, lo, hi int, weights []float64) {
 	for _, c := range nd.Children {
 		countCanonical(c, depth+1, lo, hi, weights)
 	}
-}
-
-// nodeSpan returns the inclusive [lo, hi] cell span of an interval-tree node.
-func nodeSpan(nd *tree.Node) (lo, hi int) {
-	if nd.IsLeaf() {
-		return nd.Cells[0], nd.Cells[len(nd.Cells)-1]
-	}
-	lo, _ = nodeSpan(nd.Children[0])
-	_, hi = nodeSpan(nd.Children[len(nd.Children)-1])
-	return lo, hi
 }

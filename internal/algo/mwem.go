@@ -86,6 +86,163 @@ func (m *MWEM) DataDependent() bool { return true }
 // SetScaleEstimator implements SideInfoUser.
 func (m *MWEM) SetScaleEstimator(rho float64) { m.ScaleRho = rho }
 
+// measurement is one noisy answer in the MWEM history.
+type measurement struct {
+	query int
+	value float64
+}
+
+// mwemState holds every buffer one MWEM run needs, allocated once up front
+// so the per-round selection and the history-replay update sweeps are
+// allocation-free. The estimate is kept in raw multiplicative-weights units
+// with a deferred normalization scalar: true estimate = est[i] * norm. The
+// per-entry renormalization of the published algorithm divides every cell by
+// the current total; folding that division into norm turns each history
+// replay from O(history * n) into O(history * range), with one O(n)
+// materialization when the scalar is applied (once per sweep, and before
+// each selection step). The folding is algebraically exact — it changes
+// floating-point rounding only, at the ~1e-12 relative level (see the golden
+// tests, which pin the optimized output to the reference implementation).
+type mwemState struct {
+	w      *workload.Workload
+	ev     *workload.Evaluator
+	est    []float64 // raw multiplicative weights; true estimate = est * norm
+	norm   float64   // deferred renormalization scalar
+	total  float64   // running raw total: sum(est), maintained incrementally
+	scale  float64   // the (noisy or public) scale the estimate sums to
+	estAns []float64 // per-query answers of the current estimate
+	scores []float64 // exponential-mechanism scores
+	expBuf []float64 // exponential-mechanism weight scratch
+	chosen []bool    // queries already selected (reusable, replaces a map)
+	hist   []measurement
+}
+
+func newMWEMState(w *workload.Workload, n, rounds int, scale float64) *mwemState {
+	q := w.Size()
+	st := &mwemState{
+		w:      w,
+		ev:     workload.NewEvaluator(w),
+		est:    make([]float64, n),
+		norm:   1,
+		scale:  scale,
+		estAns: make([]float64, q),
+		scores: make([]float64, q),
+		expBuf: make([]float64, q),
+		chosen: make([]bool, q),
+		hist:   make([]measurement, 0, rounds),
+	}
+	uniformSpread(st.est, 0, n, scale)
+	st.total = scale // uniform initialization sums to scale by construction
+	return st
+}
+
+// materialize applies the deferred scalar to every cell and recomputes the
+// raw total exactly, resetting the incremental drift of total.
+func (st *mwemState) materialize() {
+	if st.norm != 1 {
+		var total float64
+		for i, v := range st.est {
+			v *= st.norm
+			st.est[i] = v
+			total += v
+		}
+		st.total = total
+		st.norm = 1
+	}
+}
+
+// select picks the worst-approximated not-yet-chosen query with the
+// exponential mechanism at budget epsSelect and marks it chosen. The
+// estimate stays in raw units: the evaluator answers raw range sums, which
+// the deferred scalar converts to true answers one multiply per query, so no
+// O(n) materialization pass is needed. The prefix table's final entry is the
+// exact raw total, which resets the incremental drift of total each round.
+func (st *mwemState) selectQuery(trueAns []float64, epsSelect float64, rng *rand.Rand) int {
+	st.ev.Reset(st.est)
+	st.total = st.ev.Total()
+	if st.total > 0 {
+		st.norm = st.scale / st.total
+	}
+	st.ev.AnswerAll(st.estAns)
+	for i := range st.scores {
+		if st.chosen[i] {
+			st.scores[i] = math.Inf(-1)
+			continue
+		}
+		st.scores[i] = math.Abs(trueAns[i] - st.estAns[i]*st.norm)
+	}
+	q := noise.ExpMechBuf(rng, st.scores, 1, epsSelect, st.expBuf)
+	st.chosen[q] = true
+	return q
+}
+
+// replay applies one multiplicative-weights pass over the whole history,
+// leaving the normalization scalar deferred. It allocates nothing.
+func (st *mwemState) replay() {
+	for _, h := range st.hist {
+		st.update(h)
+	}
+}
+
+// update applies one history entry: a multiplicative-weights step on the
+// cells the query covers, followed by renormalization to the scale, which is
+// folded into the deferred scalar instead of touching all n cells.
+func (st *mwemState) update(h measurement) {
+	est := st.est
+	var rs float64 // raw sum of the query's range
+	var lo0, hi0 int
+	twoD := len(st.w.Dims) == 2
+	var y0, x0, y1, x1, nx int
+	if twoD {
+		y0, x0, y1, x1 = st.w.Rect(h.query)
+		nx = st.w.Dims[1]
+		for y := y0; y <= y1; y++ {
+			row := est[y*nx+x0 : y*nx+x1+1]
+			for _, v := range row {
+				rs += v
+			}
+		}
+	} else {
+		lo0, hi0 = st.w.Range(h.query)
+		for _, v := range est[lo0 : hi0+1] {
+			rs += v
+		}
+	}
+	cur := rs * st.norm
+	factor := (h.value - cur) / (2 * st.scale)
+	if factor > 30 {
+		factor = 30
+	} else if factor < -30 {
+		factor = -30
+	}
+	mult := math.Exp(factor)
+	if twoD {
+		for y := y0; y <= y1; y++ {
+			row := est[y*nx+x0 : y*nx+x1+1]
+			for i := range row {
+				row[i] *= mult
+			}
+		}
+	} else {
+		row := est[lo0 : hi0+1]
+		for i := range row {
+			row[i] *= mult
+		}
+	}
+	// Renormalize to the (noisy or public) scale: instead of scaling all n
+	// cells by scale/newTotal, track the new raw total incrementally and
+	// fold the scaling into the deferred scalar.
+	st.total += rs * (mult - 1)
+	if st.total > 0 {
+		st.norm = st.scale / st.total
+	}
+	// Guard against raw-weight overflow/underflow when many large
+	// multiplicative steps accumulate before the scalar is applied.
+	if st.total > 1e280 || (st.total > 0 && st.total < 1e-280) {
+		st.materialize()
+	}
+}
+
 // Run implements Algorithm.
 func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
 	if err := validate(x, eps); err != nil {
@@ -123,86 +280,25 @@ func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.R
 		sweeps = 1
 	}
 
-	n := x.N()
-	est := make([]float64, n)
-	uniformSpread(est, 0, n, scale)
 	trueAns, err := w.Evaluate(x)
 	if err != nil {
 		return nil, err
 	}
-
+	st := newMWEMState(w, x.N(), rounds, scale)
 	epsRound := epsLeft / float64(rounds)
-	type measurement struct {
-		query int
-		value float64
-	}
-	var history []measurement
-	chosen := make(map[int]bool)
 
 	for t := 0; t < rounds; t++ {
 		// Select the worst-approximated query with half the round budget.
-		estAns := w.EvaluateFlat(est)
-		scores := make([]float64, w.Size())
-		for i := range scores {
-			if chosen[i] {
-				scores[i] = math.Inf(-1)
-				continue
-			}
-			scores[i] = math.Abs(trueAns[i] - estAns[i])
-		}
-		q := noise.ExpMech(rng, scores, 1, epsRound/2)
-		chosen[q] = true
+		q := st.selectQuery(trueAns, epsRound/2, rng)
 		// Measure it with the other half.
 		meas := trueAns[q] + noise.Laplace(rng, 2/epsRound)
-		history = append(history, measurement{q, meas})
+		st.hist = append(st.hist, measurement{q, meas})
 
 		// Multiplicative weights over the history.
 		for s := 0; s < sweeps; s++ {
-			for _, h := range history {
-				cur := answerOne(w, h.query, est)
-				factor := (h.value - cur) / (2 * scale)
-				if factor > 30 {
-					factor = 30
-				} else if factor < -30 {
-					factor = -30
-				}
-				mult := math.Exp(factor)
-				var newTotal float64
-				for cell := 0; cell < n; cell++ {
-					if w.Covers(h.query, cell) {
-						est[cell] *= mult
-					}
-					newTotal += est[cell]
-				}
-				// Renormalize to the (noisy or public) scale.
-				if newTotal > 0 {
-					adj := scale / newTotal
-					for cell := range est {
-						est[cell] *= adj
-					}
-				}
-			}
+			st.replay()
 		}
 	}
-	return est, nil
-}
-
-// answerOne evaluates one workload query against an estimate vector.
-func answerOne(w *workload.Workload, k int, est []float64) float64 {
-	var s float64
-	q := w.Queries[k]
-	switch len(w.Dims) {
-	case 1:
-		for i := q.Lo[0]; i <= q.Hi[0]; i++ {
-			s += est[i]
-		}
-	case 2:
-		nx := w.Dims[1]
-		for y := q.Lo[0]; y <= q.Hi[0]; y++ {
-			for xc := q.Lo[1]; xc <= q.Hi[1]; xc++ {
-				s += est[y*nx+xc]
-			}
-		}
-	}
-	return s
+	st.materialize()
+	return st.est, nil
 }

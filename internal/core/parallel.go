@@ -111,14 +111,20 @@ func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
 	}
 
 	// Phase 2: fan out all cells. Cell c decodes to (s, t, i) in the serial
-	// loop order; its result lands in results[i].Errors[s*trials+t].
+	// loop order; its result lands in results[i].Errors[s*trials+t]. Each
+	// worker draws its evaluation scratch (workload Evaluator + answer
+	// buffer) from a pool, so cells reuse buffers instead of allocating; the
+	// scratch never influences results, only where intermediates are stored.
 	results := newResults(cfg, p)
+	scratch := sync.Pool{New: func() any { return newEvalScratch(cfg.Workload) }}
 	perSample := p.trials * len(cfg.Algorithms)
 	err = ParallelFor(workers, p.samples*perSample, func(c int) error {
 		s := c / perSample
 		t := (c % perSample) / len(cfg.Algorithms)
 		i := c % len(cfg.Algorithms)
-		e, err := runCell(cfg, p, xs[s].x, xs[s].trueAns, s, t, i)
+		sc := scratch.Get().(*evalScratch)
+		e, err := runCell(cfg, p, xs[s].x, xs[s].trueAns, s, t, i, sc)
+		scratch.Put(sc)
 		if err != nil {
 			return err
 		}

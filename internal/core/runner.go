@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/algo"
@@ -108,6 +109,19 @@ func newResults(cfg Config, p runPlan) []AlgResult {
 	return results
 }
 
+// evalScratch holds the per-worker estimate-evaluation buffers: a reusable
+// workload Evaluator plus the answer vector the loss is computed over. One
+// scratch serves every cell a worker executes, so the per-trial hot path of
+// the runner performs no workload-evaluation allocations.
+type evalScratch struct {
+	ev     *workload.Evaluator
+	estAns []float64
+}
+
+func newEvalScratch(w *workload.Workload) *evalScratch {
+	return &evalScratch{ev: workload.NewEvaluator(w), estAns: make([]float64, w.Size())}
+}
+
 // generateSample draws sample s's data vector from the generator on its
 // dedicated RNG stream and evaluates the workload's true answers.
 func generateSample(cfg Config, s int) (*vec.Vector, []float64, error) {
@@ -124,16 +138,17 @@ func generateSample(cfg Config, s int) (*vec.Vector, []float64, error) {
 }
 
 // runCell executes one (sample, trial, algorithm) cell on its own RNG stream
-// and returns the scaled error.
-func runCell(cfg Config, p runPlan, x *vec.Vector, trueAns []float64, s, t, i int) (float64, error) {
+// and returns the scaled error. sc provides the reusable evaluation buffers.
+func runCell(cfg Config, p runPlan, x *vec.Vector, trueAns []float64, s, t, i int, sc *evalScratch) (float64, error) {
 	a := cfg.Algorithms[i]
 	runRNG := newRNG(deriveSeed(cfg.Seed, s, t, i))
 	est, err := a.Run(x, cfg.Workload, cfg.Eps, runRNG)
 	if err != nil {
 		return 0, fmt.Errorf("core: %s on %s: %w", a.Name(), cfg.Dataset.Name, err)
 	}
-	estAns := cfg.Workload.EvaluateFlat(est)
-	return ScaledError(p.loss(estAns, trueAns), float64(cfg.Scale), p.q), nil
+	sc.ev.Reset(est)
+	sc.ev.AnswerAll(sc.estAns)
+	return ScaledError(p.loss(sc.estAns, trueAns), float64(cfg.Scale), p.q), nil
 }
 
 // Run executes one experimental setting and returns per-algorithm results in
@@ -148,6 +163,7 @@ func Run(cfg Config) ([]AlgResult, error) {
 		return nil, err
 	}
 	results := newResults(cfg, p)
+	sc := newEvalScratch(cfg.Workload)
 	for s := 0; s < p.samples; s++ {
 		x, trueAns, err := generateSample(cfg, s)
 		if err != nil {
@@ -155,7 +171,7 @@ func Run(cfg Config) ([]AlgResult, error) {
 		}
 		for t := 0; t < p.trials; t++ {
 			for i := range cfg.Algorithms {
-				e, err := runCell(cfg, p, x, trueAns, s, t, i)
+				e, err := runCell(cfg, p, x, trueAns, s, t, i, sc)
 				if err != nil {
 					return nil, err
 				}
@@ -201,10 +217,11 @@ func BestByP95(results []AlgResult) string {
 	if len(results) == 0 {
 		return ""
 	}
-	best := 0
+	var sc stats.Scratch
+	best, bestP95 := 0, math.Inf(1)
 	for i := range results {
-		if results[i].P95Error() < results[best].P95Error() {
-			best = i
+		if p95 := sc.Percentile(results[i].Errors, 95); p95 < bestP95 {
+			best, bestP95 = i, p95
 		}
 	}
 	return results[best].Name

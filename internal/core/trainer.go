@@ -105,6 +105,7 @@ func (t *Trainer) Train() (*Profile, error) {
 	const eps = 0.1
 	shapes := TrainingShapes(n)
 	w := workload.Prefix(n)
+	sc := newEvalScratch(w)
 	prof := &Profile{}
 	for li, product := range products {
 		scale := int(math.Round(product / eps))
@@ -133,8 +134,9 @@ func (t *Trainer) Train() (*Profile, error) {
 					if err != nil {
 						return nil, err
 					}
-					estAns := w.EvaluateFlat(est)
-					total += ScaledError(L2Loss(estAns, trueAns), float64(scale), w.Size())
+					sc.ev.Reset(est)
+					sc.ev.AnswerAll(sc.estAns)
+					total += ScaledError(L2Loss(sc.estAns, trueAns), float64(scale), w.Size())
 					runs++
 				}
 			}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 )
@@ -37,29 +38,48 @@ func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 // Set writes element (i, j).
 func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
-// MulVec computes m * x.
+// MulVec computes m * x into a fresh slice.
 func (m *Dense) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.Rows), x)
+}
+
+// MulVecInto computes m * x into dst (len m.Rows) and returns it, allocating
+// nothing. dst may hold stale values; it is fully overwritten.
+func (m *Dense) MulVecInto(dst, x []float64) []float64 {
 	if len(x) != m.Cols {
 		panic("matrix: MulVec dimension mismatch")
 	}
-	out := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic("matrix: MulVecInto destination length mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
-// TransposeMulVec computes m^T * y.
+// TransposeMulVec computes m^T * y into a fresh slice.
 func (m *Dense) TransposeMulVec(y []float64) []float64 {
+	return m.TransposeMulVecInto(make([]float64, m.Cols), y)
+}
+
+// TransposeMulVecInto computes m^T * y into dst (len m.Cols) and returns it,
+// allocating nothing. dst is zeroed first, so it may hold stale values.
+func (m *Dense) TransposeMulVecInto(dst, y []float64) []float64 {
 	if len(y) != m.Rows {
 		panic("matrix: TransposeMulVec dimension mismatch")
 	}
-	out := make([]float64, m.Cols)
+	if len(dst) != m.Cols {
+		panic("matrix: TransposeMulVecInto destination length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		yi := y[i]
@@ -67,10 +87,10 @@ func (m *Dense) TransposeMulVec(y []float64) []float64 {
 			continue
 		}
 		for j, v := range row {
-			out[j] += v * yi
+			dst[j] += v * yi
 		}
 	}
-	return out
+	return dst
 }
 
 // Gram computes m^T * m (Cols x Cols).
@@ -114,15 +134,29 @@ func (m *Dense) Sensitivity() float64 {
 	return best
 }
 
-// CholeskySolve solves the SPD system G z = b in place via Cholesky
-// factorization. G must be symmetric positive definite (true for S^T S when
-// S has full column rank).
+// CholeskySolve solves the SPD system G z = b via Cholesky factorization.
+// G must be symmetric positive definite (true for S^T S when S has full
+// column rank). Callers solving against the same G repeatedly should factor
+// once with CholeskyFactor and reuse the factor via SolveFactored.
 func CholeskySolve(g *Dense, b []float64) ([]float64, error) {
-	n := g.Rows
-	if g.Cols != n || len(b) != n {
+	if len(b) != g.Rows {
 		return nil, fmt.Errorf("matrix: CholeskySolve shape mismatch")
 	}
-	// Factor G = L L^T.
+	L, err := CholeskyFactor(g)
+	if err != nil {
+		return nil, err
+	}
+	z := make([]float64, g.Rows)
+	SolveFactored(L, b, z, make([]float64, g.Rows))
+	return z, nil
+}
+
+// CholeskyFactor computes the lower-triangular factor L with G = L L^T.
+func CholeskyFactor(g *Dense) (*Dense, error) {
+	n := g.Rows
+	if g.Cols != n {
+		return nil, fmt.Errorf("matrix: CholeskyFactor shape mismatch")
+	}
 	L := NewDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
@@ -140,32 +174,58 @@ func CholeskySolve(g *Dense, b []float64) ([]float64, error) {
 			}
 		}
 	}
+	return L, nil
+}
+
+// SolveFactored solves L L^T z = b given the Cholesky factor L, writing the
+// solution into z using fwd (both len n) as the forward-substitution
+// scratch. It allocates nothing; z and fwd may alias b only if the caller no
+// longer needs b.
+func SolveFactored(L *Dense, b, z, fwd []float64) {
+	n := L.Rows
+	if len(b) != n || len(z) != n || len(fwd) != n {
+		panic("matrix: SolveFactored length mismatch")
+	}
 	// Forward substitution L y = b.
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
-			sum -= L.At(i, k) * y[k]
+			sum -= L.At(i, k) * fwd[k]
 		}
-		y[i] = sum / L.At(i, i)
+		fwd[i] = sum / L.At(i, i)
 	}
 	// Back substitution L^T z = y.
-	z := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
-		sum := y[i]
+		sum := fwd[i]
 		for k := i + 1; k < n; k++ {
 			sum -= L.At(k, i) * z[k]
 		}
 		z[i] = sum / L.At(i, i)
 	}
-	return z, nil
 }
 
 // Mechanism is one instance of the matrix mechanism: a strategy matrix with
-// full column rank over an n-cell domain.
+// full column rank over an n-cell domain. The Cholesky factor of the Gram
+// matrix and the strategy sensitivity are computed once on first use and
+// shared by every Run, so repeated trials pay two triangular solves instead
+// of a fresh O(n^3) factorization; per-trial scratch vectors come from an
+// internal pool, keeping concurrent Runs safe and allocation-light.
 type Mechanism struct {
 	Strategy *Dense
 	gram     *Dense
+
+	once    sync.Once
+	chol    *Dense
+	cholErr error
+	sens    float64
+	scratch sync.Pool // *mechScratch
+}
+
+// mechScratch holds one trial's intermediate vectors.
+type mechScratch struct {
+	y   []float64 // noisy strategy answers (len Rows)
+	b   []float64 // S^T y (len Cols)
+	fwd []float64 // forward-substitution temp (len Cols)
 }
 
 // NewMechanism validates and prepares a strategy.
@@ -174,6 +234,15 @@ func NewMechanism(strategy *Dense) (*Mechanism, error) {
 		return nil, fmt.Errorf("matrix: strategy must have at least as many rows as columns")
 	}
 	return &Mechanism{Strategy: strategy, gram: strategy.Gram()}, nil
+}
+
+// prepare computes the cached Cholesky factor and sensitivity exactly once.
+func (mm *Mechanism) prepare() error {
+	mm.once.Do(func() {
+		mm.sens = mm.Strategy.Sensitivity()
+		mm.chol, mm.cholErr = CholeskyFactor(mm.gram)
+	})
+	return mm.cholErr
 }
 
 // Run measures Sx under Laplace noise calibrated to the strategy sensitivity
@@ -186,13 +255,26 @@ func (mm *Mechanism) Run(x []float64, eps float64, rng *rand.Rand) ([]float64, e
 	if len(x) != mm.Strategy.Cols {
 		return nil, fmt.Errorf("matrix: data has %d cells, strategy expects %d", len(x), mm.Strategy.Cols)
 	}
-	sens := mm.Strategy.Sensitivity()
-	y := mm.Strategy.MulVec(x)
-	for i := range y {
-		y[i] += noise.Laplace(rng, sens/eps)
+	if err := mm.prepare(); err != nil {
+		return nil, err
 	}
-	b := mm.Strategy.TransposeMulVec(y)
-	return CholeskySolve(mm.gram, b)
+	sc, _ := mm.scratch.Get().(*mechScratch)
+	if sc == nil {
+		sc = &mechScratch{
+			y:   make([]float64, mm.Strategy.Rows),
+			b:   make([]float64, mm.Strategy.Cols),
+			fwd: make([]float64, mm.Strategy.Cols),
+		}
+	}
+	defer mm.scratch.Put(sc)
+	y := mm.Strategy.MulVecInto(sc.y, x)
+	for i := range y {
+		y[i] += noise.Laplace(rng, mm.sens/eps)
+	}
+	b := mm.Strategy.TransposeMulVecInto(sc.b, y)
+	z := make([]float64, mm.Strategy.Cols)
+	SolveFactored(mm.chol, b, z, sc.fwd)
+	return z, nil
 }
 
 // ExpectedCellVariances returns the exact per-cell variance of the estimator
@@ -200,21 +282,22 @@ func (mm *Mechanism) Run(x []float64, eps float64, rng *rand.Rand) ([]float64, e
 // analytical error the paper's data-independent analysis relies on ("the
 // error for this class of techniques is well-understood").
 func (mm *Mechanism) ExpectedCellVariances(eps float64) ([]float64, error) {
+	if err := mm.prepare(); err != nil {
+		return nil, err
+	}
 	n := mm.Strategy.Cols
-	sens := mm.Strategy.Sensitivity()
-	noiseVar := 2 * sens * sens / (eps * eps)
+	noiseVar := 2 * mm.sens * mm.sens / (eps * eps)
 	out := make([]float64, n)
 	// Solve G z = e_j per column to read diag(G^{-1}).
 	e := make([]float64, n)
+	z := make([]float64, n)
+	fwd := make([]float64, n)
 	for j := 0; j < n; j++ {
 		for i := range e {
 			e[i] = 0
 		}
 		e[j] = 1
-		z, err := CholeskySolve(mm.gram, e)
-		if err != nil {
-			return nil, err
-		}
+		SolveFactored(mm.chol, e, z, fwd)
 		out[j] = z[j] * noiseVar
 	}
 	return out, nil

@@ -3,6 +3,7 @@ package matrix
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -263,5 +264,108 @@ func TestMechanismUnbiasedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewDense(5, 7)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 7)
+	y := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 5)
+	for i := range dst {
+		dst[i] = 999 // stale values must be overwritten
+	}
+	got := m.MulVecInto(dst, x)
+	want := m.MulVec(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	dstT := make([]float64, 7)
+	for i := range dstT {
+		dstT[i] = -999
+	}
+	gotT := m.TransposeMulVecInto(dstT, y)
+	wantT := m.TransposeMulVec(y)
+	for i := range wantT {
+		if gotT[i] != wantT[i] {
+			t.Fatalf("TransposeMulVecInto[%d] = %v, want %v", i, gotT[i], wantT[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.MulVecInto(dst, x)
+		m.TransposeMulVecInto(dstT, y)
+	}); allocs != 0 {
+		t.Fatalf("into-buffer variants allocate %v per call, want 0", allocs)
+	}
+}
+
+func TestSolveFactoredMatchesCholeskySolve(t *testing.T) {
+	strat := HierarchicalStrategy(9, 3)
+	g := strat.Gram()
+	b := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5}
+	want, err := CholeskySolve(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L, err := CholeskyFactor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, len(b))
+	fwd := make([]float64, len(b))
+	SolveFactored(L, b, z, fwd)
+	for i := range want {
+		if z[i] != want[i] {
+			t.Fatalf("SolveFactored[%d] = %v, want %v (bitwise)", i, z[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() { SolveFactored(L, b, z, fwd) }); allocs != 0 {
+		t.Fatalf("SolveFactored allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestMechanismConcurrentRuns(t *testing.T) {
+	// The cached factor and scratch pool must be safe under the concurrent
+	// Runs the parallel experiment runner performs.
+	mm, err := NewMechanism(HierarchicalStrategy(32, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for trial := 0; trial < 20; trial++ {
+				if _, err := mm.Run(x, 1, rng); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -53,6 +53,13 @@ func LaplaceMechanism(rng *rand.Rand, f []float64, sensitivity, epsilon float64)
 // argmax is returned (ties broken uniformly), matching the limiting behaviour
 // proved in Lemma 2 of the paper.
 func ExpMech(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) int {
+	return ExpMechBuf(rng, scores, sensitivity, epsilon, nil)
+}
+
+// ExpMechBuf is ExpMech with a caller-provided weight buffer (len(scores) or
+// nil), so repeated selections — e.g. MWEM's per-round query choice — do not
+// allocate. The sampled distribution is identical to ExpMech's.
+func ExpMechBuf(rng *rand.Rand, scores []float64, sensitivity, epsilon float64, weights []float64) int {
 	if len(scores) == 0 {
 		panic("noise: empty score list in exponential mechanism")
 	}
@@ -68,7 +75,9 @@ func ExpMech(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) int
 			maxScore = s
 		}
 	}
-	weights := make([]float64, len(scores))
+	if len(weights) != len(scores) {
+		weights = make([]float64, len(scores))
+	}
 	var total float64
 	for i, s := range scores {
 		w := math.Exp(epsilon * (s - maxScore) / (2 * sensitivity))

@@ -42,27 +42,50 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Percentile returns the p-th percentile (p in [0,100]) of xs using linear
 // interpolation between order statistics. DPBench reports the 95th percentile
-// as its risk-averse error measure (Principle 8).
+// as its risk-averse error measure (Principle 8). It copies xs; repeated
+// aggregation should reuse a Scratch instead.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile for an already ascending-sorted slice; it
+// allocates nothing.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return s[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s[len(s)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := p / 100 * float64(len(s)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Scratch reuses one sort buffer across error-metric computations, so
+// aggregating many trial vectors (percentiles per algorithm per setting)
+// stays off the allocator. The zero value is ready to use; a Scratch is not
+// safe for concurrent use.
+type Scratch struct {
+	buf []float64
+}
+
+// Percentile computes the p-th percentile of xs without mutating it, reusing
+// the scratch buffer as sorting space.
+func (s *Scratch) Percentile(xs []float64, p float64) float64 {
+	s.buf = append(s.buf[:0], xs...)
+	sort.Float64s(s.buf)
+	return PercentileSorted(s.buf, p)
 }
 
 // GeoMean returns the geometric mean of strictly positive values; entries

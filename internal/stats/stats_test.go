@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -253,5 +254,36 @@ func TestStudentTKnownQuantile(t *testing.T) {
 	p := RegIncBeta(0.5, 0.5, 1/(1+1.0))
 	if math.Abs(p-0.5) > 1e-9 {
 		t.Fatalf("Cauchy two-sided p at t=1: %v, want 0.5", p)
+	}
+}
+
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 2, 8, 3}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{-5, 0, 10, 50, 77.7, 95, 100, 140} {
+		if got, want := PercentileSorted(sorted, p), Percentile(xs, p); got != want {
+			t.Fatalf("PercentileSorted(%v) = %v, Percentile = %v", p, got, want)
+		}
+	}
+	if got := PercentileSorted(nil, 50); got != 0 {
+		t.Fatalf("PercentileSorted(nil) = %v, want 0", got)
+	}
+}
+
+func TestScratchPercentile(t *testing.T) {
+	var sc Scratch
+	xs := []float64{5, 1, 3}
+	for i := 0; i < 3; i++ {
+		if got, want := sc.Percentile(xs, 50), Percentile(xs, 50); got != want {
+			t.Fatalf("Scratch.Percentile = %v, want %v", got, want)
+		}
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Scratch.Percentile mutated its input")
+	}
+	// After warm-up the scratch must not allocate for same-size inputs.
+	if allocs := testing.AllocsPerRun(50, func() { sc.Percentile(xs, 95) }); allocs != 0 {
+		t.Fatalf("Scratch.Percentile allocates %v per call, want 0", allocs)
 	}
 }

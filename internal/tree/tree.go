@@ -29,13 +29,19 @@ type Node struct {
 	Y   float64
 	Var float64
 
-	size int     // number of cells covered (cached)
-	z    float64 // combined estimate from the upward inference pass
-	zvar float64 // variance of z
+	size   int     // number of cells covered (cached)
+	lo, hi int     // inclusive min/max covered cell index (cached)
+	z      float64 // combined estimate from the upward inference pass
+	zvar   float64 // variance of z
 }
 
 // Size returns the number of cells the node covers.
 func (nd *Node) Size() int { return nd.size }
+
+// Span returns the inclusive [lo, hi] range of cell indices the node covers,
+// cached at Finalize time. For interval trees the node covers exactly this
+// contiguous range; for spatial trees it is the min/max flat index.
+func (nd *Node) Span() (lo, hi int) { return nd.lo, nd.hi }
 
 // IsLeaf reports whether the node has no children.
 func (nd *Node) IsLeaf() bool { return len(nd.Children) == 0 }
@@ -86,14 +92,33 @@ func (nd *Node) finalize() error {
 			return fmt.Errorf("tree: leaf covering no cells")
 		}
 		nd.size = len(nd.Cells)
+		nd.lo, nd.hi = nd.Cells[0], nd.Cells[0]
+		for _, c := range nd.Cells[1:] {
+			if c < nd.lo {
+				nd.lo = c
+			}
+			if c > nd.hi {
+				nd.hi = c
+			}
+		}
 		return nil
 	}
 	nd.size = 0
-	for _, c := range nd.Children {
+	for i, c := range nd.Children {
 		if err := c.finalize(); err != nil {
 			return err
 		}
 		nd.size += c.size
+		if i == 0 {
+			nd.lo, nd.hi = c.lo, c.hi
+			continue
+		}
+		if c.lo < nd.lo {
+			nd.lo = c.lo
+		}
+		if c.hi > nd.hi {
+			nd.hi = c.hi
+		}
 	}
 	return nil
 }

@@ -1,0 +1,118 @@
+package workload
+
+import "fmt"
+
+// Evaluator answers a workload repeatedly against changing estimate vectors
+// without allocating: it owns the prefix-sum (1D) or summed-area (2D) table
+// and writes query answers into caller-provided buffers. The pattern is
+//
+//	ev := workload.NewEvaluator(w)
+//	for each trial {
+//	    ev.Reset(est)          // O(n): rebuild the table for this estimate
+//	    ev.AnswerAll(buf)      // O(q): answer every query into buf
+//	}
+//
+// Reset and AnswerAll are allocation-free after construction, which is what
+// keeps the per-trial hot path of the experiment runner and of MWEM's
+// selection step off the garbage collector. An Evaluator is not safe for
+// concurrent use; pool one per worker.
+type Evaluator struct {
+	w     *Workload
+	table []float64 // len n+1 (1D) or (nx+1)*(ny+1) (2D); index 0 row/col stay 0
+}
+
+// NewEvaluator returns an Evaluator for w. It panics on workloads over
+// unsupported dimensionalities (only 1D and 2D exist in the benchmark).
+func NewEvaluator(w *Workload) *Evaluator {
+	switch len(w.Dims) {
+	case 1:
+		return &Evaluator{w: w, table: make([]float64, w.Dims[0]+1)}
+	case 2:
+		ny, nx := w.Dims[0], w.Dims[1]
+		return &Evaluator{w: w, table: make([]float64, (ny+1)*(nx+1))}
+	default:
+		panic(fmt.Sprintf("workload: unsupported dimensionality %d", len(w.Dims)))
+	}
+}
+
+// Workload returns the workload this evaluator answers.
+func (e *Evaluator) Workload() *Workload { return e.w }
+
+// Reset rebuilds the internal table from the given flat estimate vector,
+// which must match the workload's domain. It does not retain data.
+func (e *Evaluator) Reset(data []float64) {
+	switch len(e.w.Dims) {
+	case 1:
+		n := e.w.Dims[0]
+		if len(data) != n {
+			panic(fmt.Sprintf("workload: estimate length %d does not match domain %d", len(data), n))
+		}
+		table := e.table
+		for i, x := range data {
+			table[i+1] = table[i] + x
+		}
+	case 2:
+		ny, nx := e.w.Dims[0], e.w.Dims[1]
+		if len(data) != nx*ny {
+			panic(fmt.Sprintf("workload: estimate length %d does not match domain %dx%d", len(data), ny, nx))
+		}
+		// Summed-area table: table[y*(nx+1)+x] = sum of cells with row < y,
+		// col < x. Row 0 and column 0 stay zero from construction.
+		sat := e.table
+		stride := nx + 1
+		for y := 0; y < ny; y++ {
+			row := sat[(y+1)*stride:]
+			prev := sat[y*stride:]
+			for x := 0; x < nx; x++ {
+				row[x+1] = data[y*nx+x] + prev[x+1] + row[x] - prev[x]
+			}
+		}
+	}
+}
+
+// Total returns the sum of the estimate vector passed to the last Reset (the
+// full-domain prefix entry), at no extra cost.
+func (e *Evaluator) Total() float64 { return e.table[len(e.table)-1] }
+
+// AnswerAll writes the answer of every query into dst and returns it. dst
+// must have length w.Size(); a nil dst allocates a fresh slice. With a
+// non-nil dst the call performs no allocations.
+func (e *Evaluator) AnswerAll(dst []float64) []float64 {
+	q := e.w.Size()
+	if dst == nil {
+		dst = make([]float64, q)
+	}
+	if len(dst) != q {
+		panic(fmt.Sprintf("workload: answer buffer length %d does not match %d queries", len(dst), q))
+	}
+	switch len(e.w.Dims) {
+	case 1:
+		table, lo0, hi0 := e.table, e.w.lo0, e.w.hi0
+		for k := range dst {
+			dst[k] = table[hi0[k]+1] - table[lo0[k]]
+		}
+	case 2:
+		sat := e.table
+		stride := e.w.Dims[1] + 1
+		lo0, hi0, lo1, hi1 := e.w.lo0, e.w.hi0, e.w.lo1, e.w.hi1
+		for k := range dst {
+			y0, x0 := int(lo0[k]), int(lo1[k])
+			y1, x1 := int(hi0[k])+1, int(hi1[k])+1
+			dst[k] = sat[y1*stride+x1] - sat[y0*stride+x1] - sat[y1*stride+x0] + sat[y0*stride+x0]
+		}
+	}
+	return dst
+}
+
+// Answer returns the answer of query k against the last Reset estimate.
+func (e *Evaluator) Answer(k int) float64 {
+	switch len(e.w.Dims) {
+	case 1:
+		return e.table[e.w.hi0[k]+1] - e.table[e.w.lo0[k]]
+	default:
+		stride := e.w.Dims[1] + 1
+		y0, x0 := int(e.w.lo0[k]), int(e.w.lo1[k])
+		y1, x1 := int(e.w.hi0[k])+1, int(e.w.hi1[k])+1
+		return e.table[y1*stride+x1] - e.table[y0*stride+x1] - e.table[y1*stride+x0] + e.table[y0*stride+x0]
+	}
+}

@@ -4,6 +4,12 @@
 // against a data vector. Queries are represented as axis-aligned ranges, the
 // (hyper-)rectangles of Section 2.2, rather than dense matrix rows, so
 // evaluation via prefix sums is O(q) after an O(n) precomputation.
+//
+// Query bounds are stored flat in struct-of-arrays form (one int32 slice per
+// bound) rather than as a slice of per-query structs: evaluating q queries
+// walks four contiguous arrays instead of chasing two slice headers per
+// query, and the Evaluator type answers a whole workload into a
+// caller-provided buffer without allocating. See evaluator.go.
 package workload
 
 import (
@@ -13,32 +19,79 @@ import (
 	"repro/internal/vec"
 )
 
-// Query is an inclusive multi-dimensional range query: it counts the cells
-// with Lo[j] <= index_j <= Hi[j] for every dimension j.
-type Query struct {
-	Lo, Hi []int
-}
-
-// Workload is a set of range queries over a fixed domain.
+// Workload is a set of inclusive axis-aligned range queries over a fixed
+// domain. Query k counts the cells with lo_j <= index_j <= hi_j in every
+// dimension j; bounds live in the flat lo0/hi0 (dimension 0) and lo1/hi1
+// (dimension 1, 2D only) arrays. The zero value with Name and Dims set is a
+// valid empty workload; grow it with AddRange or AddRect.
 type Workload struct {
 	// Name identifies the workload in reports.
 	Name string
 	// Dims is the domain the queries are defined over.
 	Dims []int
-	// Queries holds the range queries.
-	Queries []Query
+
+	// Struct-of-arrays query bounds, one entry per query.
+	lo0, hi0 []int32
+	lo1, hi1 []int32
 }
 
 // Size returns the number of queries q.
-func (w *Workload) Size() int { return len(w.Queries) }
+func (w *Workload) Size() int { return len(w.lo0) }
+
+// AddRange appends the inclusive 1D range query [lo, hi]. The workload must
+// be one-dimensional.
+func (w *Workload) AddRange(lo, hi int) {
+	if len(w.Dims) != 1 {
+		panic("workload: AddRange on a non-1D workload")
+	}
+	w.lo0 = append(w.lo0, int32(lo))
+	w.hi0 = append(w.hi0, int32(hi))
+}
+
+// AddRect appends the inclusive rectangle query [y0,y1] x [x0,x1] (rows, then
+// columns). The workload must be two-dimensional.
+func (w *Workload) AddRect(y0, x0, y1, x1 int) {
+	if len(w.Dims) != 2 {
+		panic("workload: AddRect on a non-2D workload")
+	}
+	w.lo0 = append(w.lo0, int32(y0))
+	w.hi0 = append(w.hi0, int32(y1))
+	w.lo1 = append(w.lo1, int32(x0))
+	w.hi1 = append(w.hi1, int32(x1))
+}
+
+// Grow pre-allocates capacity for q additional queries.
+func (w *Workload) Grow(q int) {
+	grow := func(s []int32) []int32 {
+		out := make([]int32, len(s), len(s)+q)
+		copy(out, s)
+		return out
+	}
+	w.lo0, w.hi0 = grow(w.lo0), grow(w.hi0)
+	if len(w.Dims) == 2 {
+		w.lo1, w.hi1 = grow(w.lo1), grow(w.hi1)
+	}
+}
+
+// Range returns the inclusive [lo, hi] bounds of 1D query k.
+func (w *Workload) Range(k int) (lo, hi int) {
+	return int(w.lo0[k]), int(w.hi0[k])
+}
+
+// Rect returns the inclusive bounds (rows [y0,y1], columns [x0,x1]) of 2D
+// query k.
+func (w *Workload) Rect(k int) (y0, x0, y1, x1 int) {
+	return int(w.lo0[k]), int(w.lo1[k]), int(w.hi0[k]), int(w.hi1[k])
+}
 
 // Prefix returns the 1D Prefix workload over domain size n: queries [0, i]
 // for every i in [0, n). Any 1D range query is the difference of two prefix
 // queries, which is why the paper uses it as the canonical 1D workload.
 func Prefix(n int) *Workload {
 	w := &Workload{Name: fmt.Sprintf("Prefix(%d)", n), Dims: []int{n}}
+	w.Grow(n)
 	for i := 0; i < n; i++ {
-		w.Queries = append(w.Queries, Query{Lo: []int{0}, Hi: []int{i}})
+		w.AddRange(0, i)
 	}
 	return w
 }
@@ -46,8 +99,9 @@ func Prefix(n int) *Workload {
 // Identity returns the workload of n point queries over a 1D domain.
 func Identity(n int) *Workload {
 	w := &Workload{Name: fmt.Sprintf("Identity(%d)", n), Dims: []int{n}}
+	w.Grow(n)
 	for i := 0; i < n; i++ {
-		w.Queries = append(w.Queries, Query{Lo: []int{i}, Hi: []int{i}})
+		w.AddRange(i, i)
 	}
 	return w
 }
@@ -56,9 +110,10 @@ func Identity(n int) *Workload {
 // small n (tests and exact-variance computations).
 func AllRange(n int) *Workload {
 	w := &Workload{Name: fmt.Sprintf("AllRange(%d)", n), Dims: []int{n}}
+	w.Grow(n * (n + 1) / 2)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			w.Queries = append(w.Queries, Query{Lo: []int{i}, Hi: []int{j}})
+			w.AddRange(i, j)
 		}
 	}
 	return w
@@ -68,12 +123,13 @@ func AllRange(n int) *Workload {
 // given rng.
 func RandomRange(n, q int, rng *rand.Rand) *Workload {
 	w := &Workload{Name: fmt.Sprintf("RandomRange(%d,%d)", n, q), Dims: []int{n}}
+	w.Grow(q)
 	for k := 0; k < q; k++ {
 		a, b := rng.Intn(n), rng.Intn(n)
 		if a > b {
 			a, b = b, a
 		}
-		w.Queries = append(w.Queries, Query{Lo: []int{a}, Hi: []int{b}})
+		w.AddRange(a, b)
 	}
 	return w
 }
@@ -82,6 +138,7 @@ func RandomRange(n, q int, rng *rand.Rand) *Workload {
 // nx x ny domain, the paper's 2D workload (2000 random range queries).
 func RandomRange2D(nx, ny, q int, rng *rand.Rand) *Workload {
 	w := &Workload{Name: fmt.Sprintf("RandomRange2D(%dx%d,%d)", nx, ny, q), Dims: []int{ny, nx}}
+	w.Grow(q)
 	for k := 0; k < q; k++ {
 		x0, x1 := rng.Intn(nx), rng.Intn(nx)
 		if x0 > x1 {
@@ -91,7 +148,7 @@ func RandomRange2D(nx, ny, q int, rng *rand.Rand) *Workload {
 		if y0 > y1 {
 			y0, y1 = y1, y0
 		}
-		w.Queries = append(w.Queries, Query{Lo: []int{y0, x0}, Hi: []int{y1, x1}})
+		w.AddRect(y0, x0, y1, x1)
 	}
 	return w
 }
@@ -107,57 +164,19 @@ func (w *Workload) Evaluate(v *vec.Vector) ([]float64, error) {
 			return nil, fmt.Errorf("workload: domain mismatch %v vs %v", v.Dims, w.Dims)
 		}
 	}
-	switch len(w.Dims) {
-	case 1:
-		return w.evaluate1D(v.Data), nil
-	case 2:
-		return w.evaluate2D(v.Data, w.Dims[1], w.Dims[0]), nil
-	default:
+	if len(w.Dims) > 2 {
 		return nil, fmt.Errorf("workload: unsupported dimensionality %d", len(w.Dims))
 	}
+	return w.EvaluateFlat(v.Data), nil
 }
 
 // EvaluateFlat is Evaluate for a raw estimate slice already known to match
-// the workload's domain (the common case for algorithm outputs).
+// the workload's domain (the common case for algorithm outputs). It allocates
+// fresh buffers on every call; hot paths should hold an Evaluator instead.
 func (w *Workload) EvaluateFlat(data []float64) []float64 {
-	switch len(w.Dims) {
-	case 1:
-		return w.evaluate1D(data)
-	case 2:
-		return w.evaluate2D(data, w.Dims[1], w.Dims[0])
-	default:
-		panic(fmt.Sprintf("workload: unsupported dimensionality %d", len(w.Dims)))
-	}
-}
-
-func (w *Workload) evaluate1D(data []float64) []float64 {
-	n := w.Dims[0]
-	prefix := make([]float64, n+1)
-	for i, x := range data {
-		prefix[i+1] = prefix[i] + x
-	}
-	out := make([]float64, len(w.Queries))
-	for k, q := range w.Queries {
-		out[k] = prefix[q.Hi[0]+1] - prefix[q.Lo[0]]
-	}
-	return out
-}
-
-func (w *Workload) evaluate2D(data []float64, nx, ny int) []float64 {
-	// 2D summed-area table: sat[y][x] = sum of cells with row < y, col < x.
-	sat := make([]float64, (nx+1)*(ny+1))
-	at := func(y, x int) float64 { return sat[y*(nx+1)+x] }
-	for y := 0; y < ny; y++ {
-		for x := 0; x < nx; x++ {
-			sat[(y+1)*(nx+1)+x+1] = data[y*nx+x] + at(y, x+1) + at(y+1, x) - at(y, x)
-		}
-	}
-	out := make([]float64, len(w.Queries))
-	for k, q := range w.Queries {
-		y0, x0, y1, x1 := q.Lo[0], q.Lo[1], q.Hi[0], q.Hi[1]
-		out[k] = at(y1+1, x1+1) - at(y0, x1+1) - at(y1+1, x0) + at(y0, x0)
-	}
-	return out
+	ev := NewEvaluator(w)
+	ev.Reset(data)
+	return ev.AnswerAll(nil)
 }
 
 // CellWeights returns, for each cell of the domain, the number of workload
@@ -173,9 +192,9 @@ func (w *Workload) CellWeights() []float64 {
 	case 1:
 		// Difference array over inclusive ranges.
 		diff := make([]float64, n+1)
-		for _, q := range w.Queries {
-			diff[q.Lo[0]]++
-			diff[q.Hi[0]+1]--
+		for k := range w.lo0 {
+			diff[w.lo0[k]]++
+			diff[w.hi0[k]+1]--
 		}
 		var run float64
 		for i := 0; i < n; i++ {
@@ -185,8 +204,8 @@ func (w *Workload) CellWeights() []float64 {
 	case 2:
 		ny, nx := w.Dims[0], w.Dims[1]
 		diff := make([]float64, (ny+1)*(nx+1))
-		for _, q := range w.Queries {
-			y0, x0, y1, x1 := q.Lo[0], q.Lo[1], q.Hi[0], q.Hi[1]
+		for k := range w.lo0 {
+			y0, x0, y1, x1 := int(w.lo0[k]), int(w.lo1[k]), int(w.hi0[k]), int(w.hi1[k])
 			diff[y0*(nx+1)+x0]++
 			diff[y0*(nx+1)+x1+1]--
 			diff[(y1+1)*(nx+1)+x0]--
@@ -209,14 +228,13 @@ func (w *Workload) CellWeights() []float64 {
 
 // Covers reports whether query k covers the flat cell index.
 func (w *Workload) Covers(k, cell int) bool {
-	q := w.Queries[k]
 	switch len(w.Dims) {
 	case 1:
-		return cell >= q.Lo[0] && cell <= q.Hi[0]
+		return cell >= int(w.lo0[k]) && cell <= int(w.hi0[k])
 	case 2:
 		nx := w.Dims[1]
 		y, x := cell/nx, cell%nx
-		return y >= q.Lo[0] && y <= q.Hi[0] && x >= q.Lo[1] && x <= q.Hi[1]
+		return y >= int(w.lo0[k]) && y <= int(w.hi0[k]) && x >= int(w.lo1[k]) && x <= int(w.hi1[k])
 	default:
 		panic("workload: unsupported dimensionality")
 	}

@@ -14,9 +14,10 @@ func TestPrefixStructure(t *testing.T) {
 	if w.Size() != 4 {
 		t.Fatalf("size = %d, want 4", w.Size())
 	}
-	for i, q := range w.Queries {
-		if q.Lo[0] != 0 || q.Hi[0] != i {
-			t.Fatalf("query %d = [%d,%d], want [0,%d]", i, q.Lo[0], q.Hi[0], i)
+	for i := 0; i < w.Size(); i++ {
+		lo, hi := w.Range(i)
+		if lo != 0 || hi != i {
+			t.Fatalf("query %d = [%d,%d], want [0,%d]", i, lo, hi, i)
 		}
 	}
 }
@@ -60,9 +61,10 @@ func TestRandomRangeValid(t *testing.T) {
 	if w.Size() != 50 {
 		t.Fatalf("size = %d", w.Size())
 	}
-	for _, q := range w.Queries {
-		if q.Lo[0] > q.Hi[0] || q.Lo[0] < 0 || q.Hi[0] >= 100 {
-			t.Fatalf("invalid query %+v", q)
+	for k := 0; k < w.Size(); k++ {
+		lo, hi := w.Range(k)
+		if lo > hi || lo < 0 || hi >= 100 {
+			t.Fatalf("invalid query %d: [%d,%d]", k, lo, hi)
 		}
 	}
 }
@@ -73,12 +75,13 @@ func TestRandomRange2DValid(t *testing.T) {
 	if w.Size() != 40 {
 		t.Fatalf("size = %d", w.Size())
 	}
-	for _, q := range w.Queries {
-		if q.Lo[0] > q.Hi[0] || q.Hi[0] >= 8 {
-			t.Fatalf("invalid y range %+v", q)
+	for k := 0; k < w.Size(); k++ {
+		y0, x0, y1, x1 := w.Rect(k)
+		if y0 > y1 || y1 >= 8 {
+			t.Fatalf("invalid y range %d: [%d,%d]", k, y0, y1)
 		}
-		if q.Lo[1] > q.Hi[1] || q.Hi[1] >= 16 {
-			t.Fatalf("invalid x range %+v", q)
+		if x0 > x1 || x1 >= 16 {
+			t.Fatalf("invalid x range %d: [%d,%d]", k, x0, x1)
 		}
 	}
 }
@@ -95,10 +98,11 @@ func TestEvaluate2DAgainstBruteForce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k, q := range w.Queries {
+	for k := 0; k < w.Size(); k++ {
+		y0, x0, y1, x1 := w.Rect(k)
 		var want float64
-		for yy := q.Lo[0]; yy <= q.Hi[0]; yy++ {
-			for xx := q.Lo[1]; xx <= q.Hi[1]; xx++ {
+		for yy := y0; yy <= y1; yy++ {
+			for xx := x0; xx <= x1; xx++ {
 				want += v.Data[yy*nx+xx]
 			}
 		}
@@ -121,9 +125,10 @@ func TestEvaluate1DAgainstBruteForceProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for k, q := range w.Queries {
+		for k := 0; k < w.Size(); k++ {
+			lo, hi := w.Range(k)
 			var want float64
-			for i := q.Lo[0]; i <= q.Hi[0]; i++ {
+			for i := lo; i <= hi; i++ {
 				want += v.Data[i]
 			}
 			if math.Abs(y[k]-want) > 1e-9 {
@@ -170,7 +175,7 @@ func TestCellWeights2DMatchesCovers(t *testing.T) {
 	weights := w.CellWeights()
 	for cell := 0; cell < 36; cell++ {
 		var want float64
-		for k := range w.Queries {
+		for k := 0; k < w.Size(); k++ {
 			if w.Covers(k, cell) {
 				want++
 			}
@@ -182,7 +187,8 @@ func TestCellWeights2DMatchesCovers(t *testing.T) {
 }
 
 func TestCovers1D(t *testing.T) {
-	w := &Workload{Dims: []int{10}, Queries: []Query{{Lo: []int{2}, Hi: []int{5}}}}
+	w := &Workload{Dims: []int{10}}
+	w.AddRange(2, 5)
 	cases := map[int]bool{1: false, 2: true, 5: true, 6: false}
 	for cell, want := range cases {
 		if got := w.Covers(0, cell); got != want {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite with -benchmem and record the results as
+# a JSON snapshot (BENCH_<date>.json in the repo root), seeding the repo's
+# performance trajectory: one snapshot per perf-relevant PR makes regressions
+# and wins diffable.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, default benchtime
+#   BENCHTIME=10x scripts/bench.sh   # bound per-benchmark iterations
+#   BENCH='AlgoMWEM|SweepSerial' scripts/bench.sh   # subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+pattern="${BENCH:-.}"
+out="BENCH_$(date +%Y%m%d).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" ./... | tee "$raw"
+
+# Convert `go test -bench` lines into a JSON array. Fields absent from a line
+# (e.g. custom -ReportMetric rows without -benchmem columns) are omitted.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, benchtime
+    n = 0
+}
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_.-]/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = line "}"
+    if (n++) printf ","
+    printf "\n%s", line
+}
+END {
+    printf "\n  ],\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
+}' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
