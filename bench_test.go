@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/noise"
 	"repro/internal/transform"
 	"repro/internal/tree"
 	"repro/internal/vec"
@@ -310,7 +311,7 @@ func BenchmarkAblationConsistency(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		root.Measure(rng, data, tree.UniformLevelBudget(eps, root.Height()))
+		root.Measure(noise.NewMeter(eps, rng), data, tree.UniformLevelBudget(eps, root.Height()))
 		est := root.Infer(n)
 		var total float64
 		for _, v := range est {
@@ -322,7 +323,7 @@ func BenchmarkAblationConsistency(b *testing.B) {
 		flatRoot, _ := tree.BuildInterval(n, 2)
 		budget := make([]float64, flatRoot.Height())
 		budget[len(budget)-1] = eps // all budget on leaves, no hierarchy
-		flatRoot.Measure(rng, data, budget)
+		flatRoot.Measure(noise.NewMeter(eps, rng), data, budget)
 		flatEst := flatRoot.Infer(n)
 		var ftotal float64
 		for _, v := range flatEst {

@@ -10,10 +10,12 @@
 //	dpbench -experiment all -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The grid runs on a bounded worker pool (default: GOMAXPROCS); output is
-// bit-identical for every -workers value, including 1. The -cpuprofile and
-// -memprofile flags write pprof profiles covering the whole run, so
-// performance work on the grid can be driven by evidence
-// (go tool pprof cpu.prof).
+// bit-identical for every -workers value, including 1. The -audit flag
+// verifies the privacy-budget ledger of every trial (spends sum to exactly
+// eps and match the mechanism's declared composition plan) without changing
+// any output value. The -cpuprofile and -memprofile flags write pprof
+// profiles covering the whole run, so performance work on the grid can be
+// driven by evidence (go tool pprof cpu.prof).
 //
 // Experiments: fig1a fig1b fig2a fig2b fig2c tab3a tab3b find6 find7 find8
 // find9 find10 regret1d regret2d exch cons all.
@@ -42,6 +44,7 @@ func run() int {
 		full       = flag.Bool("full", false, "run the paper's full grid instead of the quick one")
 		seed       = flag.Int64("seed", 20160626, "random seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the experiment grid (results are identical for any value)")
+		audit      = flag.Bool("audit", false, "verify the privacy-budget ledger after every trial (output is identical; fails fast on any budget-math bug)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -75,7 +78,7 @@ func run() int {
 		}()
 	}
 
-	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers}
+	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers, Audit: *audit}
 
 	runners := map[string]func() error{
 		"fig1a":    func() error { _, err := experiments.Fig1a(opt); return err },

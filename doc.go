@@ -25,4 +25,21 @@
 // Fenwick scanner (the unrestricted ablation); and the runners pool
 // per-worker scratch buffers. Golden tests pin every optimized path to the
 // seed implementations. See README.md ("Performance").
+//
+// Privacy-budget enforcement is machine-checked end to end. Every mechanism
+// draws all of its randomness through a noise.Meter — an accountant-backed
+// noise source constructed inside Run from (eps, rng) — and declares a
+// composition plan: the ledger labels it may emit and whether each composes
+// sequentially (spends add) or in parallel (spends over disjoint partitions
+// count their maximum once). In audit mode (core.Config.Audit, the trainer's
+// Audit field, experiments.Options.Audit, the CLI's -audit flag) every trial
+// runs through algo.RunAudited, which fails the run unless the ledger sums
+// to exactly the trial's epsilon (within 1e-9; under-spend fails too) and
+// stays inside the declared plan (the budget arithmetic is machine-checked;
+// the scale/spend calibration of each draw is stated at its draw site and
+// verified by inspection and the statistical tests). The meter wraps the
+// noise stream without reordering it, so audited output is bit-identical to
+// unaudited output —
+// and with audit off no accountant is attached, keeping the hot path
+// allocation-free. See README.md ("Budget metering and audit mode").
 package repro

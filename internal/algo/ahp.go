@@ -70,7 +70,15 @@ func (a *AHP) Supports(k int) bool { return k >= 1 }
 func (a *AHP) DataDependent() bool { return true }
 
 // Run implements Algorithm.
-func (a *AHP) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (a *AHP) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: stage one is one vector query at rho*eps
+// (the histogram has L1 sensitivity 1), stage two measures disjoint
+// clusters in a parallel scope at the remaining (1-rho)*eps.
+func (a *AHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -86,7 +94,7 @@ func (a *AHP) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Ra
 	eps2 := (1 - rho) * eps
 
 	// Stage one: noisy counts, threshold, sort, greedy cluster.
-	noisy := noise.LaplaceVec(rng, x.Data, 1/eps1)
+	noisy := m.LaplaceVec("counts", x.Data, 1/eps1, eps1)
 	threshold := eta * math.Log(float64(n)) / eps1
 	for i, v := range noisy {
 		if v < threshold {
@@ -105,14 +113,15 @@ func (a *AHP) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Ra
 	// noise 1/eps2 per cluster count).
 	clusters := greedyCluster(noisy, order, 1/eps2)
 
-	// Stage two: fresh noisy total per cluster, uniform within.
+	// Stage two: fresh noisy total per cluster, uniform within. Clusters are
+	// disjoint, so the per-cluster spends compose in parallel to eps2.
 	out := make([]float64, n)
 	for _, cl := range clusters {
 		var trueTotal float64
 		for _, cell := range cl {
 			trueTotal += x.Data[cell]
 		}
-		est := trueTotal + noise.Laplace(rng, 1/eps2)
+		est := trueTotal + m.LaplacePar("clusters", 1/eps2, eps2)
 		if est < 0 {
 			est = 0
 		}
@@ -121,7 +130,15 @@ func (a *AHP) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Ra
 			out[cell] = per
 		}
 	}
-	return out, nil
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (a *AHP) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "counts", Kind: noise.Sequential},
+		{Label: "clusters", Kind: noise.Parallel},
+	}
 }
 
 // greedyCluster walks cells in sorted order of their stage-one counts and

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/noise"
 	"repro/internal/vec"
 	"repro/internal/workload"
 )
@@ -27,6 +28,55 @@ type Algorithm interface {
 	// Run releases an estimate of x under epsilon-differential privacy.
 	// The returned slice has one entry per cell of x.
 	Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error)
+}
+
+// Metered is implemented by every mechanism in this package. RunMeter is Run
+// with a caller-supplied noise meter: Run constructs an unmetered noise.Meter
+// from its (eps, rng) arguments and delegates here, while the audit path
+// supplies a ledger-backed meter and verifies the mechanism's budget
+// arithmetic after the trial. The meter only wraps the noise stream — for a
+// fixed rng the output is bit-identical whichever entry point is used.
+type Metered interface {
+	// RunMeter releases an estimate of x, drawing all noise through m and
+	// spending exactly m.Total().
+	RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error)
+}
+
+// Planner is implemented by mechanisms that declare their budget-composition
+// plan: the complete set of ledger labels RunMeter may emit and how each
+// composes. The audit rejects any spend outside the plan.
+type Planner interface {
+	CompositionPlan() noise.Plan
+}
+
+// RunAudited executes one trial through a ledger-backed meter and asserts
+// afterwards that the mechanism spent exactly eps (within 1e-9; both over-
+// and under-spend fail) and that the ledger matches the mechanism's declared
+// composition plan. It is the enforcement point the paper's composition
+// claims (Section 2.1, Table 1) rest on: core.Run and the trainer call it for
+// every trial when audit mode is on.
+func RunAudited(a Algorithm, x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	ma, ok := a.(Metered)
+	if !ok {
+		return nil, fmt.Errorf("algo: %s does not support metered execution", a.Name())
+	}
+	m, err := noise.NewAuditedMeter(eps, rng)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Release()
+	est, err := ma.RunMeter(x, w, m)
+	if err != nil {
+		return nil, err
+	}
+	var plan noise.Plan
+	if p, ok := a.(Planner); ok {
+		plan = p.CompositionPlan()
+	}
+	if err := m.Audit(plan); err != nil {
+		return nil, fmt.Errorf("algo: %s failed the budget audit: %w", a.Name(), err)
+	}
+	return est, nil
 }
 
 // SideInfoUser is implemented by mechanisms that consume the true scale as
@@ -72,16 +122,46 @@ func Names() []string {
 }
 
 // All returns fresh default instances of every registered algorithm that
-// supports k-dimensional data.
+// supports k-dimensional data. A constructor error here means a corrupted
+// registry — a programming error — so it panics with the offending name
+// instead of silently dropping the mechanism from every benchmark roster.
 func All(k int) []Algorithm {
 	var out []Algorithm
 	for _, n := range Names() {
-		a, _ := New(n)
+		a, err := New(n)
+		if err != nil {
+			panic("algo: registry constructor for " + n + ": " + err.Error())
+		}
 		if a.Supports(k) {
 			out = append(out, a)
 		}
 	}
 	return out
+}
+
+// labelTable precomputes "<prefix><i>" ledger labels so metered draw sites
+// perform no string formatting on the hot path.
+func labelTable(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+var (
+	partLevelLabels = labelTable("part-level", 64)
+	splitLabels     = labelTable("split", 64)
+	kdLabels        = labelTable("kd", 64)
+)
+
+// idxLabel indexes a label table, collapsing out-of-range depths (unreachable
+// for any realistic domain) onto the last entry.
+func idxLabel(table []string, i int) string {
+	if i >= 0 && i < len(table) {
+		return table[i]
+	}
+	return table[len(table)-1]
 }
 
 // validate checks the common preconditions shared by all mechanisms.

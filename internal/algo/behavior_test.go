@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/noise"
 	"repro/internal/stats"
 	"repro/internal/vec"
 	"repro/internal/workload"
@@ -341,7 +342,7 @@ func TestDAWAPartitionCoversDomain(t *testing.T) {
 	for i := range data {
 		data[i] = float64(i % 8)
 	}
-	bounds := d.partition(data, 0.5, 0.5, rand.New(rand.NewSource(12)))
+	bounds := d.partition(data, 0.5, 0.5, noise.NewMeter(1, rand.New(rand.NewSource(12))))
 	if bounds[0] != 0 || bounds[len(bounds)-1] != 64 {
 		t.Fatalf("bounds do not span domain: %v", bounds)
 	}
@@ -541,7 +542,7 @@ func TestEFPACompressesSmoothData(t *testing.T) {
 func TestSFBucketCount(t *testing.T) {
 	s := &SF{Rho: 0.5, BucketDivisor: 10}
 	data := make([]float64, 100)
-	bounds := s.selectBoundaries(data, 10, 1.0, 100, rand.New(rand.NewSource(19)))
+	bounds := s.selectBoundaries(data, 10, 1.0, 100, noise.NewMeter(2, rand.New(rand.NewSource(19))))
 	if len(bounds) != 11 {
 		t.Fatalf("%d boundaries, want 11 (k=10 buckets)", len(bounds))
 	}

@@ -3,6 +3,7 @@ package algo
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -48,12 +49,19 @@ func (d *DAWA) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (d *DAWA) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	if err := validate(x, eps); err != nil {
+	return d.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: stage one charges per-dyadic-level parallel
+// scopes summing to rho*eps, and stage two runs inside a sequential
+// sub-meter holding the remaining (1-rho)*eps.
+func (d *DAWA) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	if err := validate(x, m.Total()); err != nil {
 		return nil, err
 	}
 	switch x.K() {
 	case 1:
-		return d.run1D(x.Data, w, eps, rng)
+		return d.run1D(x.Data, w, m)
 	case 2:
 		ny, nx := x.Dims[0], x.Dims[1]
 		if nx != ny {
@@ -63,7 +71,7 @@ func (d *DAWA) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.R
 		if err != nil {
 			return nil, err
 		}
-		est, err := d.run1D(lin, nil, eps, rng)
+		est, err := d.run1D(lin, nil, m)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +81,22 @@ func (d *DAWA) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.R
 	}
 }
 
-func (d *DAWA) run1D(data []float64, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+// CompositionPlan implements Planner. "part-forfeit" covers stage-one budget
+// slices that buy no measurement (single-cell domains, and the phantom
+// dyadic level the noise calibration assumes on non-power-of-two domains);
+// charging them keeps the ledger equal to eps without touching the noise
+// stream.
+func (d *DAWA) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "part-level*", Kind: noise.Parallel},
+		{Label: "part-all", Kind: noise.Parallel},
+		{Label: "part-forfeit", Kind: noise.Sequential},
+		{Label: "stage2", Kind: noise.Sequential},
+	}
+}
+
+func (d *DAWA) run1D(data []float64, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	rho := d.Rho
 	if rho <= 0 || rho >= 1 {
 		rho = 0.25
@@ -86,7 +109,7 @@ func (d *DAWA) run1D(data []float64, w *workload.Workload, eps float64, rng *ran
 	eps1 := rho * eps
 	eps2 := (1 - rho) * eps
 
-	bounds := d.partition(data, eps1, eps2, rng)
+	bounds := d.partition(data, eps1, eps2, m)
 	k := len(bounds) - 1
 
 	// Stage two: GreedyH on the bucket-level vector. The workload is mapped
@@ -99,7 +122,9 @@ func (d *DAWA) run1D(data []float64, w *workload.Workload, eps float64, rng *ran
 		}
 	}
 	weights := bucketLevelWeights(n, k, b, bounds, w)
-	bucketEst, err := greedyHEstimate(bucketData, b, eps2, weights, rng)
+	sub := m.SubEps("stage2", eps2)
+	bucketEst, err := greedyHEstimate(bucketData, b, weights, sub)
+	sub.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -107,16 +132,23 @@ func (d *DAWA) run1D(data []float64, w *workload.Workload, eps float64, rng *ran
 	for i := 0; i < k; i++ {
 		uniformSpread(out, bounds[i], bounds[i+1], bucketEst[i])
 	}
-	return out, nil
+	return out, m.Err()
 }
 
 // partition runs stage one and returns bucket boundaries (len k+1, first 0,
 // last n). All interval costs are perturbed with Laplace noise calibrated to
 // the per-level sensitivity of the interval-cost vector, and the DP then
-// operates purely on noisy values (so stage one is eps1-DP).
-func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []int {
+// operates purely on noisy values (so stage one is eps1-DP). Each dyadic
+// level's intervals partition the domain, so the level is charged as one
+// parallel scope of eps1/levels.
+func (d *DAWA) partition(data []float64, eps1, eps2 float64, m *noise.Meter) []int {
 	n := len(data)
 	if n == 1 {
+		// A single-cell domain has no partition to select: the stage-one
+		// allocation buys nothing. Charge it explicitly so the ledger still
+		// accounts for the full budget (no noise is drawn, so golden outputs
+		// are untouched; over-reporting a spend is privacy-safe).
+		m.Charge("part-forfeit", eps1)
 		return []int{0, 1}
 	}
 	levels := log2Ceil(n) + 1
@@ -124,6 +156,7 @@ func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []i
 	// containing interval by at most 2; a cell is in at most one interval
 	// per dyadic level.
 	costNoise := 2 * float64(levels) / eps1
+	epsLevel := eps1 / float64(levels)
 	// The DP's per-bucket penalty: expected absolute Laplace error a bucket
 	// count will incur in stage two.
 	penalty := 1 / eps2
@@ -135,10 +168,11 @@ func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []i
 	var cands []candidate
 	if d.NoDyadicRestriction {
 		// Exact O(n^2) interval set (ablation only; noise calibrated to the
-		// larger sensitivity n since a cell is in O(n) intervals). The
-		// deviation of [lo, hi) is maintained incrementally over hi by a
-		// rank-indexed Fenwick scanner, O(log n) per interval instead of a
-		// from-scratch O(hi-lo) pass.
+		// declared sensitivity n, as in the published ablation). The whole
+		// interval-cost family is accounted as one eps1 scope to match that
+		// declaration. The deviation of [lo, hi) is maintained incrementally
+		// over hi by a rank-indexed Fenwick scanner, O(log n) per interval
+		// instead of a from-scratch O(hi-lo) pass.
 		allNoise := 2 * float64(n) / eps1
 		cands = make([]candidate, 0, n*(n+1)/2)
 		scan := newL1DevScanner(data)
@@ -146,7 +180,7 @@ func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []i
 			scan.Restart()
 			for hi := lo + 1; hi <= n; hi++ {
 				scan.Push(hi - 1)
-				c := scan.Deviation() + noise.Laplace(rng, allNoise)
+				c := scan.Deviation() + m.LaplacePar("part-all", allNoise, eps1)
 				cands = append(cands, candidate{lo, hi, c})
 			}
 		}
@@ -156,7 +190,8 @@ func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []i
 		// (ascending size, then lo), so the noise stream is unchanged.
 		cands = make([]candidate, 0, 2*n)
 		dyadicDeviations(data, func(lo, size int, dev float64) {
-			c := dev + noise.Laplace(rng, costNoise)
+			lvl := bits.TrailingZeros(uint(size))
+			c := dev + m.LaplacePar(idxLabel(partLevelLabels, lvl), costNoise, epsLevel)
 			// Deviation costs are non-negative by construction; clamping
 			// the noisy value is post-processing and stops the DP from
 			// chasing spuriously negative costs.
@@ -165,6 +200,14 @@ func (d *DAWA) partition(data []float64, eps1, eps2 float64, rng *rand.Rand) []i
 			}
 			cands = append(cands, candidate{lo, lo + size, c})
 		})
+		// The noise calibration counts log2Ceil(n)+1 levels, but on a
+		// non-power-of-two domain only floor(log2(n))+1 dyadic sizes exist:
+		// the phantom level's slice is charged as a forfeit so the ledger
+		// sums to eps1 exactly (the calibration over-noises by that slice —
+		// kept as-is to preserve the published noise stream).
+		if actual := bits.Len(uint(n)); actual < levels {
+			m.Charge("part-forfeit", float64(levels-actual)*epsLevel)
+		}
 	}
 
 	// DP over bucket endpoints: best[j] = min cost to cover [0, j).

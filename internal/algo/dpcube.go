@@ -35,7 +35,15 @@ func (d *DPCube) Supports(k int) bool { return k == 1 || k == 2 }
 func (d *DPCube) DataDependent() bool { return true }
 
 // Run implements Algorithm.
-func (d *DPCube) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (d *DPCube) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return d.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: the initial per-cell histogram is one vector
+// query at rho*eps; the kd-tree is post-processing; the fresh partition
+// counts are disjoint and compose in parallel to the remaining (1-rho)*eps.
+func (d *DPCube) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -51,7 +59,7 @@ func (d *DPCube) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand
 	eps2 := (1 - rho) * eps
 	n := x.N()
 
-	noisy := noise.LaplaceVec(rng, x.Data, 1/eps1)
+	noisy := m.LaplaceVec("counts", x.Data, 1/eps1, eps1)
 
 	// kd-tree over the noisy counts (pure post-processing of DP output).
 	var parts [][]int
@@ -73,7 +81,7 @@ func (d *DPCube) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand
 		for _, cell := range p {
 			trueTotal += x.Data[cell]
 		}
-		est := trueTotal + noise.Laplace(rng, 1/eps2)
+		est := trueTotal + m.LaplacePar("parts", 1/eps2, eps2)
 		size := float64(len(p))
 		partPerCell := est / size
 		partVar := 2 / (eps2 * eps2 * size * size)
@@ -82,7 +90,15 @@ func (d *DPCube) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand
 			out[cell] = wPart*partPerCell + (1-wPart)*noisy[cell]
 		}
 	}
-	return out, nil
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (d *DPCube) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "counts", Kind: noise.Sequential},
+		{Label: "parts", Kind: noise.Parallel},
+	}
 }
 
 // kdSplit1D recursively partitions [lo, hi) of the noisy histogram, splitting

@@ -39,7 +39,15 @@ func (EFPA) Supports(k int) bool { return k == 1 }
 func (EFPA) DataDependent() bool { return true }
 
 // Run implements Algorithm.
-func (EFPA) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (e EFPA) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return e.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: half the budget selects k via the exponential
+// mechanism, half perturbs the retained coefficients (one vector query of L1
+// sensitivity 2k/sqrt(n), charged as a single scope).
+func (EFPA) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -75,26 +83,60 @@ func (EFPA) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand
 		noiseErr := lapScale * math.Sqrt(4*float64(k))
 		scores[k-1] = -(trunc + noiseErr)
 	}
-	k := 1 + noise.ExpMech(rng, scores, 1, epsK)
+	k := 1 + m.ExpMech("k", scores, 1, epsK)
 
-	// Perturb the k retained complex coefficients.
+	kept := efpaPerturb(F, n, k, epsC, m)
+	out := efpaInvert(kept, n)
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (EFPA) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "k", Kind: noise.Sequential},
+		{Label: "coeffs", Kind: noise.Parallel},
+	}
+}
+
+// efpaPerturb perturbs the k retained orthonormal-DFT coefficients of a
+// real-valued input and restores Hermitian symmetry, so the inverse
+// transform is real-valued for EVERY k:
+//
+//   - the DC bin (and, for even n, the Nyquist bin) of a real signal is
+//     real, so only the real part keeps its noise;
+//   - for every retained pair (j, n-j) the mirror slot is conj(kept[j]),
+//     even when k > n/2 and the mirror slot drew its own noise (that draw is
+//     discarded — post-processing — so the noise stream is unchanged).
+//
+// Without the overwrite, a k past n/2 left kept[j] and kept[n-j]
+// independently perturbed and the reconstruction picked up spurious
+// imaginary mass that taking real() silently folded away.
+func efpaPerturb(F []complex128, n, k int, epsC float64, m *noise.Meter) []complex128 {
 	lapScale := 2 * float64(k) / (math.Sqrt(float64(n)) * epsC)
 	kept := make([]complex128, n)
 	for j := 0; j < k; j++ {
-		kept[j] = F[j] + complex(noise.Laplace(rng, lapScale), noise.Laplace(rng, lapScale))
+		kept[j] = F[j] + complex(m.LaplacePar("coeffs", lapScale, epsC), m.LaplacePar("coeffs", lapScale, epsC))
 	}
-	// Restore conjugate symmetry so the reconstruction is real-valued:
-	// real input means F[n-j] = conj(F[j]). Only fill slots the kept block
-	// does not already own.
-	for j := 1; j < k && n-j >= k; j++ {
-		kept[n-j] = cmplx.Conj(kept[j])
+	kept[0] = complex(real(kept[0]), 0)
+	if n%2 == 0 && n/2 < k {
+		kept[n/2] = complex(real(kept[n/2]), 0)
 	}
+	for j := 1; 2*j < n; j++ {
+		if j < k {
+			kept[n-j] = cmplx.Conj(kept[j])
+		}
+	}
+	return kept
+}
 
+// efpaInvert applies the inverse transform and undoes the orthonormal
+// scaling, returning the real-valued reconstruction.
+func efpaInvert(kept []complex128, n int) []float64 {
 	inv := transform.IFFT(kept)
 	out := make([]float64, n)
 	invScale := math.Sqrt(float64(n))
 	for i := range out {
 		out[i] = real(inv[i]) * invScale
 	}
-	return out, nil
+	return out
 }

@@ -86,7 +86,10 @@ func refMWEMRun(m *MWEM, x *vec.Vector, w *workload.Workload, eps float64, rng *
 			}
 			scores[i] = math.Abs(trueAns[i] - estAns[i])
 		}
-		q := noise.ExpMech(rng, scores, 1, epsRound/2)
+		q, err := noise.ExpMech(rng, scores, 1, epsRound/2)
+		if err != nil {
+			return nil, err
+		}
 		chosen[q] = true
 		value := trueAns[q] + noise.Laplace(rng, 2/epsRound)
 		history = append(history, meas{q, value})
@@ -224,7 +227,7 @@ func refDAWARun1D(d *DAWA, data []float64, w *workload.Workload, eps float64, rn
 		}
 	}
 	weights := bucketLevelWeights(n, k, b, bounds, w)
-	bucketEst, err := greedyHEstimate(bucketData, b, eps2, weights, rng)
+	bucketEst, err := greedyHEstimate(bucketData, b, weights, noise.NewMeter(eps2, rng))
 	if err != nil {
 		return nil, err
 	}
@@ -520,9 +523,9 @@ func TestMWEMUpdatePathZeroAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(50, func() { st.replay() }); allocs != 0 {
 		t.Fatalf("MWEM replay allocates %v per sweep, want 0", allocs)
 	}
-	selRNG := rand.New(rand.NewSource(9))
+	selMeter := noise.NewMeter(1, rand.New(rand.NewSource(9)))
 	if allocs := testing.AllocsPerRun(50, func() {
-		q := st.selectQuery(trueAns, 0.05, selRNG)
+		q := st.selectQuery(trueAns, 0.05, selMeter)
 		st.chosen[q] = false // keep the candidate set non-empty across runs
 	}); allocs != 0 {
 		t.Fatalf("MWEM selection allocates %v per round, want 0", allocs)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/noise"
 	"repro/internal/transform"
 	"repro/internal/tree"
 	"repro/internal/vec"
@@ -41,6 +42,13 @@ func (g *GreedyH) DataDependent() bool { return false }
 
 // Run implements Algorithm.
 func (g *GreedyH) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return g.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: per-level parallel scopes whose weighted
+// budgets sum to eps.
+func (g *GreedyH) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -51,7 +59,11 @@ func (g *GreedyH) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *ran
 	switch x.K() {
 	case 1:
 		weights := CanonicalLevelWeights(x.N(), b, w)
-		return greedyHEstimate(x.Data, b, eps, weights, rng)
+		est, err := greedyHEstimate(x.Data, b, weights, m)
+		if err != nil {
+			return nil, err
+		}
+		return est, m.Err()
 	case 2:
 		ny, nx := x.Dims[0], x.Dims[1]
 		if nx != ny {
@@ -61,28 +73,34 @@ func (g *GreedyH) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *ran
 		if err != nil {
 			return nil, err
 		}
-		est, err := greedyHEstimate(lin, b, eps, nil, rng)
+		est, err := greedyHEstimate(lin, b, nil, m)
 		if err != nil {
 			return nil, err
 		}
-		return transform.HilbertDelinearize(est, perm), nil
+		return transform.HilbertDelinearize(est, perm), m.Err()
 	default:
 		return nil, fmt.Errorf("greedyh: unsupported dimensionality %d", x.K())
 	}
 }
 
-// greedyHEstimate builds a b-ary hierarchy over data, allocates per-level
-// budget proportional to weights^(1/3) (uniform when weights is nil or
-// degenerate), measures every node, and runs consistency inference.
-func greedyHEstimate(data []float64, b int, eps float64, weights []float64, rng *rand.Rand) ([]float64, error) {
+// CompositionPlan implements Planner.
+func (g *GreedyH) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "level*", Kind: noise.Parallel}}
+}
+
+// greedyHEstimate builds a b-ary hierarchy over data, allocates the meter's
+// whole budget across levels proportional to weights^(1/3) (uniform when
+// weights is nil or degenerate), measures every node, and runs consistency
+// inference.
+func greedyHEstimate(data []float64, b int, weights []float64, m *noise.Meter) ([]float64, error) {
 	n := len(data)
 	root, err := tree.BuildInterval(n, b)
 	if err != nil {
 		return nil, err
 	}
 	h := root.Height()
-	budget := levelBudgetFromWeights(eps, h, weights)
-	root.Measure(rng, data, budget)
+	budget := levelBudgetFromWeights(m.Total(), h, weights)
+	root.Measure(m, data, budget)
 	return root.Infer(n), nil
 }
 

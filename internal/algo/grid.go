@@ -38,7 +38,15 @@ func (u *UGrid) DataDependent() bool { return true }
 func (u *UGrid) SetScaleEstimator(rho float64) { u.ScaleRho = rho }
 
 // Run implements Algorithm.
-func (u *UGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (u *UGrid) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return u.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: the optional scale estimate composes
+// sequentially with one parallel scope over the disjoint grid cells at the
+// remaining budget.
+func (u *UGrid) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -53,17 +61,25 @@ func (u *UGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.
 	scale := x.Scale()
 	if u.ScaleRho > 0 {
 		epsScale := eps * u.ScaleRho
-		scale += noise.Laplace(rng, 1/epsScale)
+		scale += m.Laplace("scale", 1/epsScale, epsScale)
 		if scale < 1 {
 			scale = 1
 		}
 		epsLeft -= epsScale
 	}
 	ny, nx := x.Dims[0], x.Dims[1]
-	m := gridSize(scale, epsLeft, c, minInt(nx, ny))
+	g := gridSize(scale, epsLeft, c, minInt(nx, ny))
 	out := make([]float64, x.N())
-	measureGrid(rng, x.Data, nx, ny, 0, 0, nx, ny, m, m, epsLeft, out)
-	return out, nil
+	measureGrid(m, "cells", x.Data, nx, ny, 0, 0, nx, ny, g, g, epsLeft, out)
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (u *UGrid) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "scale", Kind: noise.Sequential},
+		{Label: "cells", Kind: noise.Parallel},
+	}
 }
 
 // AGrid is the adaptive grid of the same paper: a coarse first-level grid
@@ -96,7 +112,16 @@ func (a *AGrid) DataDependent() bool { return true }
 func (a *AGrid) SetScaleEstimator(rho float64) { a.ScaleRho = rho }
 
 // Run implements Algorithm.
-func (a *AGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (a *AGrid) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: the optional scale estimate composes
+// sequentially; the coarse cells are disjoint (one "level1" scope at
+// rho*epsLeft) and all second-level sub-cells across all coarse cells are
+// likewise disjoint (one "level2" scope at the rest).
+func (a *AGrid) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -118,7 +143,7 @@ func (a *AGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.
 	scale := x.Scale()
 	if a.ScaleRho > 0 {
 		epsScale := eps * a.ScaleRho
-		scale += noise.Laplace(rng, 1/epsScale)
+		scale += m.Laplace("scale", 1/epsScale, epsScale)
 		if scale < 1 {
 			scale = 1
 		}
@@ -144,7 +169,7 @@ func (a *AGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.
 					trueTotal += x.Data[y*nx+xc]
 				}
 			}
-			level1 := trueTotal + noise.Laplace(rng, 1/eps1)
+			level1 := trueTotal + m.LaplacePar("level1", 1/eps1, eps1)
 			if level1 < 0 {
 				level1 = 0
 			}
@@ -152,7 +177,7 @@ func (a *AGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.
 			m2 := int(math.Sqrt(level1 * eps2 / c2))
 			m2 = clampInt(m2, 1, minInt(x1-x0, y1-y0))
 			sub := make([]float64, (x1-x0)*(y1-y0))
-			measureRegion(rng, x.Data, nx, x0, y0, x1, y1, m2, m2, eps2, sub)
+			measureRegion(m, "level2", x.Data, nx, x0, y0, x1, y1, m2, m2, eps2, sub)
 			// Consistency: rescale the level-2 cells to match level 1.
 			var subTotal float64
 			for _, v := range sub {
@@ -174,7 +199,16 @@ func (a *AGrid) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.
 			}
 		}
 	}
-	return out, nil
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (a *AGrid) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "scale", Kind: noise.Sequential},
+		{Label: "level1", Kind: noise.Parallel},
+		{Label: "level2", Kind: noise.Parallel},
+	}
 }
 
 // gridSize computes the UGrid rule m = sqrt(N*eps/c) clamped to [1, side].
@@ -201,8 +235,9 @@ func gridBounds(n, m int) []int {
 
 // measureGrid measures an mx x my equi-width grid over the whole region with
 // Laplace noise and spreads each count uniformly into out (row-major nx
-// grid).
-func measureGrid(rng *rand.Rand, data []float64, nx, ny, x0, y0, x1, y1, mx, my int, eps float64, out []float64) {
+// grid). Grid cells are disjoint, so the per-cell spends form one parallel
+// scope under label.
+func measureGrid(m *noise.Meter, label string, data []float64, nx, ny, x0, y0, x1, y1, mx, my int, eps float64, out []float64) {
 	xb := gridBounds(x1-x0, mx)
 	yb := gridBounds(y1-y0, my)
 	for yi := 0; yi+1 < len(yb); yi++ {
@@ -215,7 +250,7 @@ func measureGrid(rng *rand.Rand, data []float64, nx, ny, x0, y0, x1, y1, mx, my 
 					total += data[y*nx+x]
 				}
 			}
-			est := total + noise.Laplace(rng, 1/eps)
+			est := total + m.LaplacePar(label, 1/eps, eps)
 			if est < 0 {
 				est = 0
 			}
@@ -231,7 +266,7 @@ func measureGrid(rng *rand.Rand, data []float64, nx, ny, x0, y0, x1, y1, mx, my 
 
 // measureRegion is measureGrid writing into a region-local buffer sub of
 // width x1-x0.
-func measureRegion(rng *rand.Rand, data []float64, nx, x0, y0, x1, y1, mx, my int, eps float64, sub []float64) {
+func measureRegion(m *noise.Meter, label string, data []float64, nx, x0, y0, x1, y1, mx, my int, eps float64, sub []float64) {
 	w := x1 - x0
 	xb := gridBounds(w, mx)
 	yb := gridBounds(y1-y0, my)
@@ -245,7 +280,7 @@ func measureRegion(rng *rand.Rand, data []float64, nx, x0, y0, x1, y1, mx, my in
 					total += data[(y0+y)*nx+x0+x]
 				}
 			}
-			est := total + noise.Laplace(rng, 1/eps)
+			est := total + m.LaplacePar(label, 1/eps, eps)
 			if est < 0 {
 				est = 0
 			}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/noise"
 	"repro/internal/tree"
 	"repro/internal/vec"
 	"repro/internal/workload"
@@ -31,7 +32,15 @@ func (h *H) Supports(k int) bool { return k == 1 }
 func (h *H) DataDependent() bool { return false }
 
 // Run implements Algorithm.
-func (h *H) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (h *H) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return h.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: every level of the hierarchy is a parallel
+// scope (its nodes partition the domain), and the uniform per-level budgets
+// sum to eps.
+func (h *H) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -47,8 +56,13 @@ func (h *H) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand
 		return nil, err
 	}
 	height := root.Height()
-	root.Measure(rng, x.Data, tree.UniformLevelBudget(eps, height))
-	return root.Infer(x.N()), nil
+	root.Measure(m, x.Data, tree.UniformLevelBudget(eps, height))
+	return root.Infer(x.N()), m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (h *H) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "level*", Kind: noise.Parallel}}
 }
 
 // Hb is the hierarchical mechanism of Qardaji et al. (PVLDB 2013), which
@@ -69,7 +83,15 @@ func (Hb) Supports(k int) bool { return k == 1 || k == 2 }
 func (Hb) DataDependent() bool { return false }
 
 // Run implements Algorithm.
-func (Hb) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (h Hb) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return h.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered; the budget structure is H's (uniform
+// per-level parallel scopes summing to eps) at the variance-optimal
+// branching factor.
+func (Hb) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -81,8 +103,8 @@ func (Hb) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) 
 		if err != nil {
 			return nil, err
 		}
-		root.Measure(rng, x.Data, tree.UniformLevelBudget(eps, root.Height()))
-		return root.Infer(n), nil
+		root.Measure(m, x.Data, tree.UniformLevelBudget(eps, root.Height()))
+		return root.Infer(n), m.Err()
 	case 2:
 		ny, nx := x.Dims[0], x.Dims[1]
 		side := nx
@@ -94,11 +116,16 @@ func (Hb) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) 
 		if err != nil {
 			return nil, err
 		}
-		root.Measure(rng, x.Data, tree.UniformLevelBudget(eps, root.Height()))
-		return root.Infer(x.N()), nil
+		root.Measure(m, x.Data, tree.UniformLevelBudget(eps, root.Height()))
+		return root.Infer(x.N()), m.Err()
 	default:
 		return nil, fmt.Errorf("hb: unsupported dimensionality %d", x.K())
 	}
+}
+
+// CompositionPlan implements Planner.
+func (Hb) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "level*", Kind: noise.Parallel}}
 }
 
 // OptimalBranching returns the branching factor minimizing Qardaji et al.'s

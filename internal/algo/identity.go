@@ -25,11 +25,24 @@ func (Identity) Supports(k int) bool { return k >= 1 }
 func (Identity) DataDependent() bool { return false }
 
 // Run implements Algorithm.
-func (Identity) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (a Identity) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered. The histogram is one vector-valued query with
+// L1 sensitivity 1, so the full budget is a single sequential spend.
+func (Identity) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
-	return noise.LaplaceMechanism(rng, x.Data, 1, eps), nil
+	out := m.LaplaceMechanism("cells", x.Data, 1, eps)
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (Identity) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "cells", Kind: noise.Sequential}}
 }
 
 // Uniform is the data-dependent baseline: it spends the whole budget
@@ -50,15 +63,27 @@ func (Uniform) Supports(k int) bool { return k >= 1 }
 func (Uniform) DataDependent() bool { return true }
 
 // Run implements Algorithm.
-func (Uniform) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (a Uniform) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: one scale query (sensitivity 1) at full
+// budget.
+func (Uniform) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
-	total := x.Scale() + noise.Laplace(rng, 1/eps)
+	total := x.Scale() + m.Laplace("total", 1/eps, eps)
 	if total < 0 {
 		total = 0
 	}
 	out := make([]float64, x.N())
 	uniformSpread(out, 0, len(out), total)
-	return out, nil
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (Uniform) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "total", Kind: noise.Sequential}}
 }

@@ -157,7 +157,7 @@ func (st *mwemState) materialize() {
 // the deferred scalar converts to true answers one multiply per query, so no
 // O(n) materialization pass is needed. The prefix table's final entry is the
 // exact raw total, which resets the incremental drift of total each round.
-func (st *mwemState) selectQuery(trueAns []float64, epsSelect float64, rng *rand.Rand) int {
+func (st *mwemState) selectQuery(trueAns []float64, epsSelect float64, m *noise.Meter) int {
 	st.ev.Reset(st.est)
 	st.total = st.ev.Total()
 	if st.total > 0 {
@@ -171,7 +171,7 @@ func (st *mwemState) selectQuery(trueAns []float64, epsSelect float64, rng *rand
 		}
 		st.scores[i] = math.Abs(trueAns[i] - st.estAns[i]*st.norm)
 	}
-	q := noise.ExpMechBuf(rng, st.scores, 1, epsSelect, st.expBuf)
+	q := m.ExpMechBuf("select", st.scores, 1, epsSelect, st.expBuf)
 	st.chosen[q] = true
 	return q
 }
@@ -245,6 +245,14 @@ func (st *mwemState) update(h measurement) {
 
 // Run implements Algorithm.
 func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return m.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered. The budget is epsScale for the optional
+// private scale estimate plus, per round, half the round budget on selection
+// and half on measurement — all sequential spends summing to eps.
+func (m *MWEM) RunMeter(x *vec.Vector, w *workload.Workload, mt *noise.Meter) ([]float64, error) {
+	eps := mt.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -255,7 +263,7 @@ func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.R
 	scale := x.Scale()
 	if m.ScaleRho > 0 {
 		epsScale := eps * m.ScaleRho
-		scale += noise.Laplace(rng, 1/epsScale)
+		scale += mt.Laplace("scale", 1/epsScale, epsScale)
 		if scale < 1 {
 			scale = 1
 		}
@@ -289,9 +297,10 @@ func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.R
 
 	for t := 0; t < rounds; t++ {
 		// Select the worst-approximated query with half the round budget.
-		q := st.selectQuery(trueAns, epsRound/2, rng)
-		// Measure it with the other half.
-		meas := trueAns[q] + noise.Laplace(rng, 2/epsRound)
+		q := st.selectQuery(trueAns, epsRound/2, mt)
+		// Measure it with the other half (noise scale 2/epsRound is
+		// sensitivity 1 over a spend of epsRound/2).
+		meas := trueAns[q] + mt.Laplace("measure", 2/epsRound, epsRound/2)
 		st.hist = append(st.hist, measurement{q, meas})
 
 		// Multiplicative weights over the history.
@@ -300,5 +309,14 @@ func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.R
 		}
 	}
 	st.materialize()
-	return st.est, nil
+	return st.est, mt.Err()
+}
+
+// CompositionPlan implements Planner.
+func (m *MWEM) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "scale", Kind: noise.Sequential},
+		{Label: "select", Kind: noise.Sequential},
+		{Label: "measure", Kind: noise.Sequential},
+	}
 }

@@ -33,7 +33,15 @@ func (p *PHP) Supports(k int) bool { return k == 1 }
 func (p *PHP) DataDependent() bool { return true }
 
 // Run implements Algorithm.
-func (p *PHP) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (p *PHP) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return p.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered. Each bisection round touches disjoint
+// intervals, so its selections form one parallel scope of eps1/maxIter;
+// the final bucket counts are likewise disjoint and share eps2.
+func (p *PHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -70,36 +78,53 @@ func (p *PHP) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Ra
 	parts := []interval{{0, n}}
 	for iter := 0; iter < maxIter; iter++ {
 		var next []interval
+		label := idxLabel(splitLabels, iter)
+		split := false
 		for _, iv := range parts {
 			if iv.hi-iv.lo <= 1 {
 				next = append(next, iv)
 				continue
 			}
 			scores := make([]float64, 0, iv.hi-iv.lo-1)
-			for m := iv.lo + 1; m < iv.hi; m++ {
-				left := sum(iv.lo, m)
-				right := sum(m, iv.hi)
-				wl, wr := float64(m-iv.lo), float64(iv.hi-m)
+			for mid := iv.lo + 1; mid < iv.hi; mid++ {
+				left := sum(iv.lo, mid)
+				right := sum(mid, iv.hi)
+				wl, wr := float64(mid-iv.lo), float64(iv.hi-mid)
 				// Balance of per-cell averages; rewards splits that separate
 				// regions of different density.
 				scores = append(scores, abs(left/wl-right/wr)*minf(wl, wr))
 			}
-			pick := noise.ExpMech(rng, scores, 1, epsPerIter)
-			m := iv.lo + 1 + pick
-			next = append(next, interval{iv.lo, m}, interval{m, iv.hi})
+			pick := m.ExpMechPar(label, scores, 1, epsPerIter)
+			split = true
+			mid := iv.lo + 1 + pick
+			next = append(next, interval{iv.lo, mid}, interval{mid, iv.hi})
+		}
+		if !split {
+			// Every interval was already a singleton (only possible on a
+			// fully refined partition): the round's allocation buys nothing,
+			// so charge it explicitly to keep the ledger at eps.
+			m.ChargePar(label, epsPerIter)
 		}
 		parts = next
 	}
 
 	out := make([]float64, n)
 	for _, iv := range parts {
-		est := sum(iv.lo, iv.hi) + noise.Laplace(rng, 1/eps2)
+		est := sum(iv.lo, iv.hi) + m.LaplacePar("counts", 1/eps2, eps2)
 		if est < 0 {
 			est = 0
 		}
 		uniformSpread(out, iv.lo, iv.hi, est)
 	}
-	return out, nil
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (p *PHP) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "split*", Kind: noise.Parallel},
+		{Label: "counts", Kind: noise.Parallel},
+	}
 }
 
 func log2Ceil(n int) int {

@@ -38,26 +38,53 @@ func (Privelet) Supports(k int) bool { return k == 1 || k == 2 }
 func (Privelet) DataDependent() bool { return false }
 
 // Run implements Algorithm.
-func (Privelet) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (p Privelet) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return p.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered. The full wavelet coefficient vector is one
+// vector-valued query with per-record L1 sensitivity 1 (see the type
+// comment), so its per-coefficient draws jointly cost eps: the 1D path
+// charges it once for the whole vector, the 2D path charges its interleaved
+// per-cell draws under one "coeffs" scope.
+func (Privelet) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
+	var out []float64
+	var err error
 	switch x.K() {
 	case 1:
-		return priveletRun1D(x.Data, eps, rng)
+		out, err = priveletRun1D(x.Data, eps, m)
 	case 2:
-		return priveletRun2D(x.Data, x.Dims[1], x.Dims[0], eps, rng)
+		out, err = priveletRun2D(x.Data, x.Dims[1], x.Dims[0], eps, m)
 	default:
 		return nil, fmt.Errorf("privelet: unsupported dimensionality %d", x.K())
 	}
+	if err != nil {
+		return nil, err
+	}
+	return out, m.Err()
 }
 
-func priveletRun1D(data []float64, eps float64, rng *rand.Rand) ([]float64, error) {
+// CompositionPlan implements Planner. "coeffs" appears under both kinds
+// because the 1D path charges the vector query once (sequential) while the
+// 2D path charges its per-cell draws as one scope (parallel aggregation to
+// the same eps total).
+func (Privelet) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "coeffs", Kind: noise.Sequential},
+		{Label: "coeffs", Kind: noise.Parallel},
+	}
+}
+
+func priveletRun1D(data []float64, eps float64, m *noise.Meter) ([]float64, error) {
 	c, err := transform.HaarForward(padPow2(data))
 	if err != nil {
 		return nil, err
 	}
-	noisy := noise.LaplaceVec(rng, c, 1/eps)
+	noisy := m.LaplaceVec("coeffs", c, 1/eps, eps)
 	rec, err := transform.HaarInverse(noisy)
 	if err != nil {
 		return nil, err
@@ -65,7 +92,7 @@ func priveletRun1D(data []float64, eps float64, rng *rand.Rand) ([]float64, erro
 	return rec[:len(data)], nil
 }
 
-func priveletRun2D(data []float64, nx, ny int, eps float64, rng *rand.Rand) ([]float64, error) {
+func priveletRun2D(data []float64, nx, ny int, eps float64, m *noise.Meter) ([]float64, error) {
 	px, py := nextPow2(nx), nextPow2(ny)
 	// Forward transform rows then columns on the padded grid.
 	grid := make([][]float64, py)
@@ -90,7 +117,7 @@ func priveletRun2D(data []float64, nx, ny int, eps float64, rng *rand.Rand) ([]f
 			return nil, err
 		}
 		for y := 0; y < py; y++ {
-			grid[y][xcol] = c[y] + noise.Laplace(rng, 1/eps)
+			grid[y][xcol] = c[y] + m.LaplacePar("coeffs", 1/eps, eps)
 		}
 	}
 	// Invert columns then rows.

@@ -34,7 +34,14 @@ func (q *QuadTree) Supports(k int) bool { return k == 2 }
 func (q *QuadTree) DataDependent() bool { return true }
 
 // Run implements Algorithm.
-func (q *QuadTree) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (q *QuadTree) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return q.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: geometric per-level budgets summing to eps,
+// each level a parallel scope over its disjoint nodes.
+func (q *QuadTree) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -49,8 +56,13 @@ func (q *QuadTree) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *ra
 	if err != nil {
 		return nil, err
 	}
-	root.Measure(rng, x.Data, tree.GeometricLevelBudget(eps, root.Height()))
-	return root.Infer(x.N()), nil
+	root.Measure(m, x.Data, tree.GeometricLevelBudget(eps, root.Height()))
+	return root.Infer(x.N()), m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (q *QuadTree) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "level*", Kind: noise.Parallel}}
 }
 
 // HybridTree is the kd-hybrid decomposition of Cormode et al. (ICDE 2012):
@@ -83,7 +95,16 @@ func (t *HybridTree) Supports(k int) bool { return k == 2 }
 func (t *HybridTree) DataDependent() bool { return true }
 
 // Run implements Algorithm.
-func (t *HybridTree) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (t *HybridTree) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return t.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: each kd level's marginals run over disjoint
+// regions (one parallel scope of epsStruct/kd per level, labels "kd<d>"),
+// then the fixed-structure counts follow QuadTree's geometric per-level
+// scopes at the remaining budget.
+func (t *HybridTree) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -105,30 +126,51 @@ func (t *HybridTree) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *
 	nx, ny := x.Dims[1], x.Dims[0]
 	epsStruct := rho * eps
 	epsCount := (1 - rho) * eps
+	if kd == 0 {
+		// Budget fix: with no data-dependent levels there is no structure to
+		// select, so the struct allocation would be silently wasted — give
+		// the whole budget to the counts instead.
+		epsStruct, epsCount = 0, eps
+	}
 
 	// Noisy marginals drive the kd splits; each level of splits touches
 	// disjoint regions so the levels share epsStruct evenly.
 	perLevel := epsStruct / float64(maxInt(kd, 1))
-	root := t.buildKD(x.Data, nx, tree.Rect{X0: 0, Y0: 0, X1: nx, Y1: ny}, kd, h, perLevel, rng)
+	root := t.buildKD(x.Data, nx, tree.Rect{X0: 0, Y0: 0, X1: nx, Y1: ny}, kd, kd, h, perLevel, m)
 	if err := root.Finalize(); err != nil {
 		return nil, err
 	}
-	root.Measure(rng, x.Data, tree.GeometricLevelBudget(epsCount, root.Height()))
-	return root.Infer(x.N()), nil
+	root.Measure(m, x.Data, tree.GeometricLevelBudget(epsCount, root.Height()))
+	return root.Infer(x.N()), m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (t *HybridTree) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "kd*", Kind: noise.Parallel},
+		{Label: "level*", Kind: noise.Parallel},
+	}
 }
 
 // buildKD builds kdLeft data-dependent levels splitting the longer dimension
 // at a noisy mass median, then hands the region to a fixed quadtree of the
-// remaining height.
-func (t *HybridTree) buildKD(data []float64, nx int, r tree.Rect, kdLeft, heightLeft int, epsLevel float64, rng *rand.Rand) *tree.Node {
+// remaining height. kdTotal is the configured number of kd levels, so the
+// current kd depth is kdTotal-kdLeft. When a branch bottoms out early its
+// remaining per-level allocations are charged as forfeits, keeping every kd
+// scope at exactly epsLevel even if no region at that depth draws.
+func (t *HybridTree) buildKD(data []float64, nx int, r tree.Rect, kdLeft, kdTotal, heightLeft int, epsLevel float64, m *noise.Meter) *tree.Node {
 	w, h := r.X1-r.X0, r.Y1-r.Y0
 	if kdLeft == 0 || heightLeft <= 1 || (w == 1 && h == 1) {
+		for i := 0; i < kdLeft; i++ {
+			m.ChargePar(idxLabel(kdLabels, kdTotal-kdLeft+i), epsLevel)
+		}
 		return tree.BuildQuadRegion(nx, r, heightLeft)
 	}
+	label := idxLabel(kdLabels, kdTotal-kdLeft)
 	nd := &tree.Node{}
 	var cut int
 	if w >= h {
-		marg := noisyMarginal(data, nx, r, true, epsLevel, rng)
+		marg := noisyMarginal(data, nx, r, true, epsLevel, label, m)
 		cut = r.X0 + marginalMedian(marg)
 		if cut <= r.X0 || cut >= r.X1 {
 			cut = (r.X0 + r.X1) / 2
@@ -136,12 +178,12 @@ func (t *HybridTree) buildKD(data []float64, nx int, r tree.Rect, kdLeft, height
 		left := tree.Rect{X0: r.X0, Y0: r.Y0, X1: cut, Y1: r.Y1}
 		right := tree.Rect{X0: cut, Y0: r.Y0, X1: r.X1, Y1: r.Y1}
 		nd.Children = []*tree.Node{
-			t.buildKD(data, nx, left, kdLeft-1, heightLeft-1, epsLevel, rng),
-			t.buildKD(data, nx, right, kdLeft-1, heightLeft-1, epsLevel, rng),
+			t.buildKD(data, nx, left, kdLeft-1, kdTotal, heightLeft-1, epsLevel, m),
+			t.buildKD(data, nx, right, kdLeft-1, kdTotal, heightLeft-1, epsLevel, m),
 		}
 		return nd
 	}
-	marg := noisyMarginal(data, nx, r, false, epsLevel, rng)
+	marg := noisyMarginal(data, nx, r, false, epsLevel, label, m)
 	cut = r.Y0 + marginalMedian(marg)
 	if cut <= r.Y0 || cut >= r.Y1 {
 		cut = (r.Y0 + r.Y1) / 2
@@ -149,15 +191,17 @@ func (t *HybridTree) buildKD(data []float64, nx int, r tree.Rect, kdLeft, height
 	top := tree.Rect{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: cut}
 	bottom := tree.Rect{X0: r.X0, Y0: cut, X1: r.X1, Y1: r.Y1}
 	nd.Children = []*tree.Node{
-		t.buildKD(data, nx, top, kdLeft-1, heightLeft-1, epsLevel, rng),
-		t.buildKD(data, nx, bottom, kdLeft-1, heightLeft-1, epsLevel, rng),
+		t.buildKD(data, nx, top, kdLeft-1, kdTotal, heightLeft-1, epsLevel, m),
+		t.buildKD(data, nx, bottom, kdLeft-1, kdTotal, heightLeft-1, epsLevel, m),
 	}
 	return nd
 }
 
 // noisyMarginal returns the Laplace-noised marginal of the region along x
-// (overX true) or y.
-func noisyMarginal(data []float64, nx int, r tree.Rect, overX bool, eps float64, rng *rand.Rand) []float64 {
+// (overX true) or y. One marginal is a vector query of sensitivity 1 over
+// the region, and the regions sharing a kd level are disjoint, so all of a
+// level's per-bin draws form one parallel scope of eps.
+func noisyMarginal(data []float64, nx int, r tree.Rect, overX bool, eps float64, label string, m *noise.Meter) []float64 {
 	var marg []float64
 	if overX {
 		marg = make([]float64, r.X1-r.X0)
@@ -175,7 +219,7 @@ func noisyMarginal(data []float64, nx int, r tree.Rect, overX bool, eps float64,
 		}
 	}
 	for i := range marg {
-		marg[i] += noise.Laplace(rng, 1/eps)
+		marg[i] += m.LaplacePar(label, 1/eps, eps)
 	}
 	return marg
 }

@@ -54,7 +54,17 @@ func (s *SF) DataDependent() bool { return true }
 func (s *SF) SetScaleEstimator(rho float64) { s.ScaleRho = rho }
 
 // Run implements Algorithm.
-func (s *SF) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+func (s *SF) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	return s.RunMeter(x, w, noise.NewMeter(eps, rng))
+}
+
+// RunMeter implements Metered: the optional scale estimate and the k-1
+// boundary selections compose sequentially; the per-bucket measurements run
+// over disjoint buckets, so each bucket (a flat count, or a whole in-bucket
+// hierarchy under the consistency modification) gets the full eps2 and the
+// buckets compose in parallel.
+func (s *SF) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
+	eps := m.Total()
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -81,7 +91,7 @@ func (s *SF) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Ran
 	F := x.Scale()
 	if s.ScaleRho > 0 {
 		epsF := eps * s.ScaleRho
-		F += noise.Laplace(rng, 1/epsF)
+		F += m.Laplace("scale", 1/epsF, epsF)
 		if F < 1 {
 			F = 1
 		}
@@ -92,24 +102,33 @@ func (s *SF) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Ran
 	}
 	eps1 := rho * epsLeft
 	eps2 := (1 - rho) * epsLeft
+	if k <= 1 {
+		// Budget fix: a single bucket has no boundaries to select, so the
+		// structure stage would silently waste rho*epsLeft. Give the whole
+		// remaining budget to the measurement stage instead.
+		eps1, eps2 = 0, epsLeft
+	}
 
-	bounds := s.selectBoundaries(x.Data, k, eps1, F, rng)
+	bounds := s.selectBoundaries(x.Data, k, eps1, F, m)
 
 	out := make([]float64, n)
 	if !s.Hierarchical {
 		prefix := prefixSums(x.Data)
 		for b := 0; b+1 < len(bounds); b++ {
 			lo, hi := bounds[b], bounds[b+1]
-			est := prefix[hi] - prefix[lo] + noise.Laplace(rng, 1/eps2)
+			est := prefix[hi] - prefix[lo] + m.LaplacePar("counts", 1/eps2, eps2)
 			if est < 0 {
 				est = 0
 			}
 			uniformSpread(out, lo, hi, est)
 		}
-		return out, nil
+		return out, m.Err()
 	}
 	// Consistency modification: binary hierarchy within every bucket
 	// (disjoint buckets compose in parallel, so each gets the full eps2).
+	// Every bucket's tree runs in its own parallel sub-meter: the per-level
+	// spends within a bucket compose sequentially to eps2, and the buckets'
+	// totals compose by maximum.
 	for b := 0; b+1 < len(bounds); b++ {
 		lo, hi := bounds[b], bounds[b+1]
 		width := hi - lo
@@ -118,18 +137,30 @@ func (s *SF) Run(x *vec.Vector, _ *workload.Workload, eps float64, rng *rand.Ran
 		if err != nil {
 			return nil, err
 		}
-		root.Measure(rng, sub, tree.UniformLevelBudget(eps2, root.Height()))
+		bm := m.SubParEps("bucket", eps2)
+		root.Measure(bm, sub, tree.UniformLevelBudget(eps2, root.Height()))
+		bm.Close()
 		est := root.Infer(width)
 		copy(out[lo:hi], est)
 	}
-	return out, nil
+	return out, m.Err()
+}
+
+// CompositionPlan implements Planner.
+func (s *SF) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "scale", Kind: noise.Sequential},
+		{Label: "boundary", Kind: noise.Sequential},
+		{Label: "counts", Kind: noise.Parallel},
+		{Label: "bucket", Kind: noise.Parallel},
+	}
 }
 
 // selectBoundaries picks k-1 interior boundaries left to right with the
 // exponential mechanism. The score of placing the next boundary at position
 // m is the negated sum of squared deviations of the bucket it closes,
 // normalized by F so the per-record sensitivity is bounded by a constant.
-func (s *SF) selectBoundaries(data []float64, k int, eps1, F float64, rng *rand.Rand) []int {
+func (s *SF) selectBoundaries(data []float64, k int, eps1, F float64, m *noise.Meter) []int {
 	n := len(data)
 	bounds := []int{0}
 	if k <= 1 {
@@ -154,24 +185,28 @@ func (s *SF) selectBoundaries(data []float64, k int, eps1, F float64, rng *rand.
 		remaining := k - b // buckets still to be closed after this one
 		hiLimit := n - remaining
 		if hiLimit <= lo+1 {
+			// Forced placement: there is only one legal position, the choice
+			// reveals nothing, and no draw happens. Charge the boundary's
+			// allocation anyway so the ledger matches the declared plan.
+			m.Charge("boundary", epsPer)
 			bounds = append(bounds, lo+1)
 			lo++
 			continue
 		}
 		scores := make([]float64, hiLimit-lo)
-		for m := lo + 1; m <= hiLimit; m++ {
-			// Cost of closing the bucket at m plus the remaining SSE
+		for mid := lo + 1; mid <= hiLimit; mid++ {
+			// Cost of closing the bucket at mid plus the remaining SSE
 			// amortized over the buckets still to come (the lookahead term
 			// keeps the greedy choice from always closing tiny buckets).
 			// Normalizing by F bounds the per-record sensitivity by a
 			// constant, since one record changes sse by at most ~4F.
-			cost := sse(lo, m) + sse(m, n)/float64(remaining)
-			scores[m-lo-1] = -cost / (4 * F)
+			cost := sse(lo, mid) + sse(mid, n)/float64(remaining)
+			scores[mid-lo-1] = -cost / (4 * F)
 		}
-		pick := noise.ExpMech(rng, scores, 1, epsPer)
-		m := lo + 1 + pick
-		bounds = append(bounds, m)
-		lo = m
+		pick := m.ExpMech("boundary", scores, 1, epsPer)
+		mid := lo + 1 + pick
+		bounds = append(bounds, mid)
+		lo = mid
 	}
 	return append(bounds, n)
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func auditConfig(t *testing.T, audit bool) Config {
+	t.Helper()
+	d, err := dataset.ByName("ADULT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Dataset:     d,
+		Dims:        []int{128},
+		Scale:       10_000,
+		Eps:         0.5,
+		Workload:    workload.Prefix(128),
+		Algorithms:  algo.All(1),
+		DataSamples: 2,
+		Trials:      2,
+		Seed:        77,
+		Audit:       audit,
+	}
+}
+
+// TestRunAuditModeMatchesPlainRun asserts the audit's core contract at the
+// runner level: with Audit on, every trial passes the ledger check AND every
+// scaled error is bit-identical to the unaudited run — across the full 1D
+// roster, serially and in parallel.
+func TestRunAuditModeMatchesPlainRun(t *testing.T) {
+	plain, err := Run(auditConfig(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited, err := Run(auditConfig(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(auditConfig(t, true), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		for j := range plain[i].Errors {
+			if plain[i].Errors[j] != audited[i].Errors[j] {
+				t.Fatalf("%s trial %d: audited %v != plain %v", plain[i].Name, j, audited[i].Errors[j], plain[i].Errors[j])
+			}
+			if plain[i].Errors[j] != par[i].Errors[j] {
+				t.Fatalf("%s trial %d: parallel audited %v != plain %v", plain[i].Name, j, par[i].Errors[j], plain[i].Errors[j])
+			}
+		}
+	}
+}
+
+// TestTrainerAuditMode runs a miniature training grid search with the
+// ledger audit on every candidate trial.
+func TestTrainerAuditMode(t *testing.T) {
+	tr := &Trainer{
+		Candidates: [][]float64{{0.3}, {0.5}},
+		Make: func(params []float64) algo.Algorithm {
+			return &algo.AHP{Rho: params[0], Eta: 0.35}
+		},
+		Domain:   64,
+		Products: []float64{1e3},
+		Trials:   1,
+		Seed:     5,
+		Audit:    true,
+	}
+	if _, err := tr.Train(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,6 +43,12 @@ type Config struct {
 	// argument is <= 0. Zero means runtime.GOMAXPROCS(0). Serial Run
 	// ignores it.
 	Parallelism int
+	// Audit, when true, executes every trial through a ledger-backed noise
+	// meter and fails the run unless the mechanism's recorded spends sum to
+	// exactly Eps (within 1e-9) and match its declared composition plan.
+	// Results are bit-identical to an unaudited run — the meter wraps the
+	// noise stream without reordering it.
+	Audit bool
 }
 
 // AlgResult holds every scaled-error observation for one algorithm in one
@@ -139,10 +145,18 @@ func generateSample(cfg Config, s int) (*vec.Vector, []float64, error) {
 
 // runCell executes one (sample, trial, algorithm) cell on its own RNG stream
 // and returns the scaled error. sc provides the reusable evaluation buffers.
+// With cfg.Audit set the trial runs through algo.RunAudited, which verifies
+// the mechanism's budget ledger after the run.
 func runCell(cfg Config, p runPlan, x *vec.Vector, trueAns []float64, s, t, i int, sc *evalScratch) (float64, error) {
 	a := cfg.Algorithms[i]
 	runRNG := newRNG(deriveSeed(cfg.Seed, s, t, i))
-	est, err := a.Run(x, cfg.Workload, cfg.Eps, runRNG)
+	var est []float64
+	var err error
+	if cfg.Audit {
+		est, err = algo.RunAudited(a, x, cfg.Workload, cfg.Eps, runRNG)
+	} else {
+		est, err = a.Run(x, cfg.Workload, cfg.Eps, runRNG)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("core: %s on %s: %w", a.Name(), cfg.Dataset.Name, err)
 	}

@@ -30,6 +30,10 @@ type Trainer struct {
 	Trials int
 	// Seed fixes the training randomness.
 	Seed int64
+	// Audit runs every training trial through the budget-ledger audit
+	// (algo.RunAudited), so a candidate parameterization with broken budget
+	// arithmetic fails training instead of silently skewing the profile.
+	Audit bool
 }
 
 // Profile is a step function from the eps*scale product to the best
@@ -130,7 +134,13 @@ func (t *Trainer) Train() (*Profile, error) {
 				for tr := 0; tr < trials; tr++ {
 					a := t.Make(cand)
 					runRNG := newRNG(t.Seed + int64(li)*99_991 + int64(ci)*31_337 + int64(si)*7_907 + int64(tr))
-					est, err := a.Run(x, w, eps, runRNG)
+					var est []float64
+					var err error
+					if t.Audit {
+						est, err = algo.RunAudited(a, x, w, eps, runRNG)
+					} else {
+						est, err = a.Run(x, w, eps, runRNG)
+					}
 					if err != nil {
 						return nil, err
 					}

@@ -35,6 +35,11 @@ type Options struct {
 	// concurrently. <= 0 means runtime.GOMAXPROCS(0). Results are
 	// bit-identical for every worker count.
 	Workers int
+	// Audit runs every trial through the privacy-budget ledger audit: any
+	// mechanism whose spends do not sum to exactly eps (or stray from its
+	// declared composition plan) fails the experiment. Output values are
+	// bit-identical with and without auditing.
+	Audit bool
 }
 
 func (o Options) workers() int {
@@ -193,6 +198,7 @@ func (o Options) sweep(algos []algo.Algorithm, datasets []dataset.Dataset, dims 
 			Trials:      o.trials(),
 			Seed:        o.Seed + int64(scale),
 			Parallelism: workers / grid,
+			Audit:       o.Audit,
 		}
 		results, err := core.RunParallel(cfg, 0)
 		if err != nil {

@@ -58,7 +58,7 @@ func Finding6(o Options) (map[string]float64, error) {
 		cfg := core.Config{
 			Dataset: d, Dims: []int{n}, Scale: scale, Eps: Eps,
 			Workload: w, Algorithms: variants[name],
-			DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + 60,
+			DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + 60, Audit: o.Audit,
 		}
 		results, err := core.RunParallel(cfg, o.workers())
 		if err != nil {
@@ -101,7 +101,7 @@ func Finding7(o Options) (map[int]float64, error) {
 			cfg := core.Config{
 				Dataset: d, Dims: []int{n}, Scale: scale, Eps: Eps,
 				Workload: w, Algorithms: algos,
-				DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + int64(scale) + 70,
+				DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + int64(scale) + 70, Audit: o.Audit,
 			}
 			results, err := core.RunParallel(cfg, o.workers())
 			if err != nil {

@@ -7,14 +7,19 @@ import (
 
 // Accountant tracks a privacy budget under sequential composition (Section
 // 2.1 of the paper: k subroutines satisfying eps_i-DP compose to
-// sum(eps_i)-DP). Mechanisms built from multiple subroutines use it to prove,
-// in tests, that their internal spends never exceed the caller's epsilon.
-// The zero value is unusable; construct with NewAccountant.
+// sum(eps_i)-DP). The Meter charges one on every noise draw when auditing is
+// enabled, so mechanisms prove — in tests, after every trial — that their
+// internal spends compose to exactly the caller's epsilon.
+// The zero value is unusable; construct with NewAccountant or Reset.
 type Accountant struct {
 	mu     sync.Mutex
 	total  float64
 	spent  float64
 	spends []Spend
+	// parMax caches, per label, the running maximum of the label's open
+	// parallel scope, so SpendParallel charges in O(1) instead of rescanning
+	// the whole ledger (previously O(n) per spend, O(n^2) per run).
+	parMax map[string]float64
 }
 
 // Spend is one recorded budget expenditure.
@@ -23,9 +28,10 @@ type Spend struct {
 	Label string
 	// Eps is the budget consumed.
 	Eps float64
-	// Parallel marks spends that apply to disjoint data partitions; a
-	// maximal run of parallel spends with the same label counts once
-	// (parallel composition).
+	// Parallel marks spends that apply to disjoint data partitions; the
+	// spends of a label's open parallel scope count their maximum once
+	// (parallel composition). A sequential spend with the same label closes
+	// the scope, so a later parallel spend starts a fresh one.
 	Parallel bool
 }
 
@@ -34,21 +40,51 @@ func NewAccountant(total float64) (*Accountant, error) {
 	if total <= 0 {
 		return nil, fmt.Errorf("noise: non-positive total budget %v", total)
 	}
-	return &Accountant{total: total}, nil
+	a := &Accountant{}
+	a.Reset(total)
+	return a, nil
+}
+
+// Reset clears all recorded spends and re-arms the accountant for a new total
+// budget, retaining the ledger's capacity so pooled reuse appends without
+// allocating.
+func (a *Accountant) Reset(total float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total = total
+	a.spent = 0
+	a.spends = a.spends[:0]
+	if a.parMax == nil {
+		a.parMax = make(map[string]float64)
+	} else {
+		clear(a.parMax)
+	}
 }
 
 // Spend consumes eps from the budget for a sequentially composed subroutine.
 // It returns an error (without recording) if the budget would be exceeded
-// beyond floating-point tolerance.
+// beyond floating-point tolerance. A sequential spend also closes the label's
+// open parallel scope, if any.
 func (a *Accountant) Spend(label string, eps float64) error {
 	return a.spend(label, eps, false)
 }
 
 // SpendParallel consumes eps for a parallel-composed family of subroutines
-// operating on disjoint partitions: repeated SpendParallel calls with the
-// same label only count the maximum once.
+// operating on disjoint partitions: within one scope, repeated SpendParallel
+// calls with the same label charge only the running maximum. A scope stays
+// open until a sequential spend with the same label (or CloseParallel) ends
+// it; parallel spends under other labels may interleave freely, which is what
+// level-ordered tree walks and nested grids produce.
 func (a *Accountant) SpendParallel(label string, eps float64) error {
 	return a.spend(label, eps, true)
+}
+
+// CloseParallel explicitly ends the label's open parallel scope, so a
+// subsequent SpendParallel with the same label is charged in full again.
+func (a *Accountant) CloseParallel(label string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.parMax, label)
 }
 
 const budgetTolerance = 1e-9
@@ -61,14 +97,9 @@ func (a *Accountant) spend(label string, eps float64, parallel bool) error {
 	defer a.mu.Unlock()
 	charge := eps
 	if parallel {
-		// Only the excess over the prior maximum for this label is charged.
-		var prevMax float64
-		for _, s := range a.spends {
-			if s.Parallel && s.Label == label && s.Eps > prevMax {
-				prevMax = s.Eps
-			}
-		}
-		if eps <= prevMax {
+		// Only the excess over the scope's prior maximum is charged.
+		prevMax, open := a.parMax[label]
+		if open && eps <= prevMax {
 			charge = 0
 		} else {
 			charge = eps - prevMax
@@ -78,6 +109,14 @@ func (a *Accountant) spend(label string, eps float64, parallel bool) error {
 		return fmt.Errorf("noise: budget exceeded: spent %v + %v > total %v", a.spent, charge, a.total)
 	}
 	a.spent += charge
+	if parallel {
+		if cur, open := a.parMax[label]; !open || eps > cur {
+			a.parMax[label] = eps
+		}
+	} else {
+		// A sequential spend with the same label ends the parallel scope.
+		delete(a.parMax, label)
+	}
 	a.spends = append(a.spends, Spend{Label: label, Eps: eps, Parallel: parallel})
 	return nil
 }

@@ -105,3 +105,74 @@ func TestAccountantFloatTolerance(t *testing.T) {
 		}
 	}
 }
+
+func TestAccountantSequentialSpendEndsParallelScope(t *testing.T) {
+	// The documented contract: a scope of parallel spends with one label
+	// composes by max, and a sequential spend with the SAME label ends the
+	// scope — a later parallel spend is charged in full again. (The previous
+	// implementation took the global max over the whole ledger, silently
+	// under-counting re-opened scopes.)
+	a, _ := NewAccountant(1.0)
+	if err := a.SpendParallel("part", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("part", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SpendParallel("part", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("spent %v, want 0.8 (0.3 + 0.2 + re-opened 0.3)", got)
+	}
+}
+
+func TestAccountantParallelScopesInterleave(t *testing.T) {
+	// Parallel spends under other labels must NOT break a label's scope:
+	// pre-order tree walks and nested grids interleave levels freely.
+	a, _ := NewAccountant(1.0)
+	for i := 0; i < 4; i++ {
+		if err := a.SpendParallel("level0", 0.25); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SpendParallel("level1", 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Spent(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("spent %v, want 0.75", got)
+	}
+}
+
+func TestAccountantCloseParallel(t *testing.T) {
+	a, _ := NewAccountant(1.0)
+	a.SpendParallel("s", 0.4)
+	a.CloseParallel("s")
+	a.SpendParallel("s", 0.4)
+	if got := a.Spent(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("spent %v, want 0.8 after explicit scope close", got)
+	}
+}
+
+func TestAccountantResetRetainsCapacity(t *testing.T) {
+	a, _ := NewAccountant(1.0)
+	for i := 0; i < 100; i++ {
+		if err := a.SpendParallel("x", 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Reset(2.0)
+	if a.Spent() != 0 || len(a.Ledger()) != 0 {
+		t.Fatal("reset must clear spends")
+	}
+	if err := a.Spend("y", 1.5); err != nil {
+		t.Fatalf("reset total not applied: %v", err)
+	}
+	// The parallel cache must also be cleared: a fresh scope charges fully.
+	if err := a.SpendParallel("x", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("spent %v, want 2.0", got)
+	}
+}

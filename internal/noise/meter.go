@@ -1,0 +1,367 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// Meter is a privacy-metered noise source: a *rand.Rand paired with a total
+// privacy budget and (optionally) an Accountant that is charged on every
+// draw. Mechanisms construct one inside Run from their (eps, rng) arguments
+// and route every random draw through it, so the budget arithmetic that the
+// paper's composition claims rest on (Section 2.1) is machine-checkable: in
+// audit mode the runner asserts after every trial that the ledger sums to
+// exactly the trial's epsilon and matches the mechanism's declared
+// composition plan.
+//
+// A meter built with NewMeter has no accountant attached — every charge is a
+// no-op and nothing is appended to any ledger, so the serving/benchmark hot
+// path pays only a nil check per draw. NewAuditedMeter attaches a pooled
+// accountant that records every spend.
+//
+// The meter wraps the noise stream, never reorders it: each draw method
+// performs exactly the underlying package-level draw with the caller's scale,
+// so outputs are bit-identical with and without auditing.
+type Meter struct {
+	rng   *rand.Rand
+	total float64
+	acct  *Accountant // nil = metering off (the fast path)
+
+	// Sub-meter bookkeeping: a child charges its parent once, at Close.
+	parent   *Meter
+	label    string
+	parallel bool
+	closed   bool
+
+	err error // first budget/config error; surfaced by Err
+}
+
+// NewMeter returns an unaudited meter: draws are passed through to the
+// underlying primitives and charges are no-ops. A non-positive eps is
+// recorded as a deferred error (callers validate budgets before drawing).
+func NewMeter(eps float64, rng *rand.Rand) *Meter {
+	m := &Meter{rng: rng, total: eps}
+	if eps <= 0 {
+		m.err = fmt.Errorf("noise: non-positive meter budget %v", eps)
+	}
+	return m
+}
+
+// NewAuditedMeter returns a meter whose every charge is recorded by a pooled
+// Accountant with the given total budget. Call Release when done with the
+// meter to return the accountant to the pool.
+func NewAuditedMeter(eps float64, rng *rand.Rand) (*Meter, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("noise: non-positive meter budget %v", eps)
+	}
+	return &Meter{rng: rng, total: eps, acct: newPooledAccountant(eps)}, nil
+}
+
+// acctPool recycles accountants (and their ledger slices) across audited
+// trials, so audit mode's per-trial cost is appends into retained capacity.
+var acctPool = sync.Pool{New: func() any { return &Accountant{} }}
+
+func newPooledAccountant(total float64) *Accountant {
+	a := acctPool.Get().(*Accountant)
+	a.Reset(total)
+	return a
+}
+
+// Rand exposes the underlying RNG for draws that carry no privacy cost
+// (e.g. tie-breaking); privacy-relevant draws must use the metered methods.
+func (m *Meter) Rand() *rand.Rand { return m.rng }
+
+// Total returns the meter's privacy budget.
+func (m *Meter) Total() float64 { return m.total }
+
+// Audited reports whether charges are being recorded.
+func (m *Meter) Audited() bool { return m.acct != nil }
+
+// Spent returns the budget consumed so far (0 when unaudited).
+func (m *Meter) Spent() float64 {
+	if m.acct == nil {
+		return 0
+	}
+	return m.acct.Spent()
+}
+
+// Ledger returns a copy of the recorded spends (nil when unaudited).
+func (m *Meter) Ledger() []Spend {
+	if m.acct == nil {
+		return nil
+	}
+	return m.acct.Ledger()
+}
+
+// Err returns the first budget or configuration error observed by this meter
+// (overspend, non-positive epsilon, invalid exponential-mechanism input).
+// Mechanisms return it at the end of RunMeter so a bad trial fails the run
+// instead of crashing a worker.
+func (m *Meter) Err() error { return m.err }
+
+func (m *Meter) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// Charge records a sequentially composed spend without drawing noise. It
+// exists for degenerate branches where an allocated budget slice buys no
+// measurement (a forced boundary, a single-cell domain): charging keeps the
+// ledger equal to the declared plan, and over-reporting a spend is always
+// privacy-safe.
+func (m *Meter) Charge(label string, eps float64) { m.charge(label, eps, false) }
+
+// ChargePar is Charge under parallel composition.
+func (m *Meter) ChargePar(label string, eps float64) { m.charge(label, eps, true) }
+
+func (m *Meter) charge(label string, eps float64, parallel bool) {
+	if m.acct == nil {
+		return
+	}
+	var err error
+	if parallel {
+		err = m.acct.SpendParallel(label, eps)
+	} else {
+		err = m.acct.Spend(label, eps)
+	}
+	if err != nil {
+		m.fail(err)
+	}
+}
+
+// Laplace draws one Laplace(scale) sample and charges eps as a sequential
+// spend under label. The caller supplies the scale directly (rather than a
+// sensitivity/eps pair) so existing mechanisms keep their exact
+// floating-point scale expressions and the noise stream stays bit-identical.
+func (m *Meter) Laplace(label string, scale, eps float64) float64 {
+	m.charge(label, eps, false)
+	return Laplace(m.rng, scale)
+}
+
+// LaplacePar is Laplace charged under parallel composition: repeated draws
+// with the same label within one scope count the maximum once. Partition
+// mechanisms use it for draws over disjoint data (AHP clusters, grid cells,
+// tree levels), and vector-valued queries use it for their per-component
+// draws (each component charge is the whole vector's spend, so the scope
+// total is exactly that spend).
+func (m *Meter) LaplacePar(label string, scale, eps float64) float64 {
+	m.charge(label, eps, true)
+	return Laplace(m.rng, scale)
+}
+
+// LaplaceVec adds independent Laplace(scale) noise to each element of x,
+// charging eps once for the whole vector-valued query (the components of one
+// vector query compose by its total L1 sensitivity, not per component).
+func (m *Meter) LaplaceVec(label string, x []float64, scale, eps float64) []float64 {
+	m.charge(label, eps, false)
+	return LaplaceVec(m.rng, x, scale)
+}
+
+// LaplaceMechanism perturbs f with noise calibrated to the given L1
+// sensitivity and budget (Definition 2), charging eps sequentially. A
+// non-positive epsilon is recorded as a meter error and nil returned —
+// never the unperturbed input, so a caller that forgets to check Err
+// cannot release noise-free data.
+func (m *Meter) LaplaceMechanism(label string, f []float64, sensitivity, eps float64) []float64 {
+	out, err := LaplaceMechanism(m.rng, f, sensitivity, eps)
+	if err != nil {
+		m.fail(err)
+		return nil
+	}
+	m.charge(label, eps, false)
+	return out
+}
+
+// Geometric draws from the two-sided geometric (discrete Laplace)
+// distribution with scale sensitivity/eps and charges eps sequentially. It is
+// the integer-valued counterpart of Laplace, used when released counts must
+// stay integral. A non-positive epsilon OR sensitivity is recorded as a
+// meter error without charging: a zero sensitivity would yield a zero noise
+// scale, and silently releasing an unperturbed count while the ledger
+// certifies an eps spend is exactly the bug class the meter exists to stop.
+func (m *Meter) Geometric(label string, sensitivity, eps float64) int64 {
+	if eps <= 0 || sensitivity <= 0 {
+		m.fail(fmt.Errorf("noise: non-positive epsilon %v or sensitivity %v in geometric mechanism", eps, sensitivity))
+		return 0
+	}
+	m.charge(label, eps, false)
+	return Geometric(m.rng, sensitivity/eps)
+}
+
+// ExpMech selects an index from scores with the exponential mechanism,
+// charging eps sequentially. Invalid input (empty scores, non-positive
+// epsilon) is recorded as a meter error and index 0 returned.
+func (m *Meter) ExpMech(label string, scores []float64, sensitivity, eps float64) int {
+	return m.expMech(label, scores, sensitivity, eps, nil, false)
+}
+
+// ExpMechPar is ExpMech charged under parallel composition, for selections
+// whose scores depend only on disjoint data partitions (e.g. PHP's per-
+// interval bisections within one round).
+func (m *Meter) ExpMechPar(label string, scores []float64, sensitivity, eps float64) int {
+	return m.expMech(label, scores, sensitivity, eps, nil, true)
+}
+
+// ExpMechBuf is ExpMech with a caller-provided weight buffer, so repeated
+// selections allocate nothing.
+func (m *Meter) ExpMechBuf(label string, scores []float64, sensitivity, eps float64, weights []float64) int {
+	return m.expMech(label, scores, sensitivity, eps, weights, false)
+}
+
+func (m *Meter) expMech(label string, scores []float64, sensitivity, eps float64, weights []float64, parallel bool) int {
+	idx, err := ExpMechBuf(m.rng, scores, sensitivity, eps, weights)
+	if err != nil {
+		m.fail(err)
+		return 0
+	}
+	m.charge(label, eps, parallel)
+	return idx
+}
+
+// Sub opens a sequentially composed sub-meter holding the fraction frac of
+// this meter's total budget, for nested budget splits (DAWA handing stage two
+// to GreedyH). The child's spends accumulate in its own ledger; Close charges
+// the parent once, under label, with the child's actual total.
+func (m *Meter) Sub(label string, frac float64) *Meter {
+	return m.sub(label, frac*m.total, false)
+}
+
+// SubEps is Sub with an absolute child budget, for splits that are not a
+// plain fraction of the parent's total (e.g. fractions of an eps that already
+// excludes a scale-estimation spend).
+func (m *Meter) SubEps(label string, eps float64) *Meter {
+	return m.sub(label, eps, false)
+}
+
+// SubParEps opens a parallel-composed sub-meter: siblings created with the
+// same label operate on disjoint data partitions, so their closed totals
+// compose by maximum, not sum (SF's per-bucket hierarchies). Each child may
+// spend up to the full eps.
+func (m *Meter) SubParEps(label string, eps float64) *Meter {
+	return m.sub(label, eps, true)
+}
+
+func (m *Meter) sub(label string, eps float64, parallel bool) *Meter {
+	c := &Meter{rng: m.rng, total: eps, parent: m, label: label, parallel: parallel}
+	if eps <= 0 {
+		c.fail(fmt.Errorf("noise: non-positive sub-meter budget %v for %q", eps, label))
+		return c
+	}
+	if m.acct != nil {
+		c.acct = newPooledAccountant(eps)
+	}
+	return c
+}
+
+// Close finishes a sub-meter: the parent is charged the child's spent total
+// under the child's label (sequentially or in parallel, as opened), the
+// child's sticky error propagates, and the child's pooled accountant is
+// released. Closing a top-level meter or closing twice is a no-op.
+func (m *Meter) Close() {
+	if m.parent == nil || m.closed {
+		return
+	}
+	m.closed = true
+	if m.err != nil {
+		m.parent.fail(m.err)
+	}
+	if m.acct == nil {
+		return
+	}
+	m.parent.charge(m.label, m.acct.Spent(), m.parallel)
+	releaseAccountant(m.acct)
+	m.acct = nil
+}
+
+// Release returns a top-level audited meter's accountant to the pool. The
+// meter must not be used afterwards.
+func (m *Meter) Release() {
+	if m.acct != nil {
+		releaseAccountant(m.acct)
+		m.acct = nil
+	}
+}
+
+func releaseAccountant(a *Accountant) { acctPool.Put(a) }
+
+// SpendKind classifies how spends under one ledger label compose.
+type SpendKind uint8
+
+const (
+	// Sequential spends add up (sequential composition).
+	Sequential SpendKind = iota
+	// Parallel spends on disjoint partitions count their maximum once.
+	Parallel
+)
+
+// PlanEntry declares one ledger label a mechanism may emit. A Label ending in
+// '*' matches every label with that prefix (per-level labels like "level3").
+type PlanEntry struct {
+	Label string
+	Kind  SpendKind
+}
+
+// Plan is a mechanism's declared composition plan: the complete set of ledger
+// labels its RunMeter may emit and how each composes. The audit rejects any
+// ledger entry not covered by the plan, so an undeclared spend — the classic
+// silent budget bug — is a test failure. A label may appear under both kinds
+// when different code paths compose it differently.
+type Plan []PlanEntry
+
+func (p Plan) allows(label string, parallel bool) bool {
+	for _, e := range p {
+		if (e.Kind == Parallel) != parallel {
+			continue
+		}
+		if strings.HasSuffix(e.Label, "*") {
+			if strings.HasPrefix(label, e.Label[:len(e.Label)-1]) {
+				return true
+			}
+		} else if e.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyPlan checks every ledger entry against the declared plan.
+func VerifyPlan(ledger []Spend, plan Plan) error {
+	for _, s := range ledger {
+		if !plan.allows(s.Label, s.Parallel) {
+			kind := "sequential"
+			if s.Parallel {
+				kind = "parallel"
+			}
+			return fmt.Errorf("noise: ledger entry %q (%s, eps=%v) not covered by the composition plan", s.Label, kind, s.Eps)
+		}
+	}
+	return nil
+}
+
+// Audit verifies that the meter's recorded spends total exactly its budget
+// (within the accountant's 1e-9 tolerance — both over- AND under-spend fail,
+// since an under-spend means the mechanism adds more noise than its budget
+// justifies, invalidating utility comparisons) and, when a plan is given,
+// that the ledger matches it. Any sticky draw/charge error fails the audit.
+func (m *Meter) Audit(plan Plan) error {
+	if m.err != nil {
+		return m.err
+	}
+	if m.acct == nil {
+		return fmt.Errorf("noise: meter was not built with NewAuditedMeter")
+	}
+	spent := m.acct.Spent()
+	if math.Abs(spent-m.total) > budgetTolerance {
+		return fmt.Errorf("noise: budget mismatch: ledger sums to %v, budget is %v (diff %v)", spent, m.total, spent-m.total)
+	}
+	if plan != nil {
+		if err := VerifyPlan(m.acct.Ledger(), plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}

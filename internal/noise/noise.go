@@ -6,6 +6,7 @@
 package noise
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -37,13 +38,33 @@ func LaplaceVec(rng *rand.Rand, x []float64, scale float64) []float64 {
 // LaplaceMechanism perturbs the vector-valued query answer f with noise
 // calibrated to the given L1 sensitivity and privacy budget epsilon,
 // implementing Definition 2 of the paper. A non-positive epsilon means an
-// unbounded noise scale is required; callers must validate budgets, so this
-// panics to surface programming errors early.
-func LaplaceMechanism(rng *rand.Rand, f []float64, sensitivity, epsilon float64) []float64 {
+// unbounded noise scale is required; it is returned as an error so a bad
+// trial configuration fails that run instead of crashing a worker pool.
+func LaplaceMechanism(rng *rand.Rand, f []float64, sensitivity, epsilon float64) ([]float64, error) {
 	if epsilon <= 0 {
-		panic("noise: non-positive epsilon in Laplace mechanism")
+		return nil, fmt.Errorf("noise: non-positive epsilon %v in Laplace mechanism", epsilon)
 	}
-	return LaplaceVec(rng, f, sensitivity/epsilon)
+	return LaplaceVec(rng, f, sensitivity/epsilon), nil
+}
+
+// Geometric draws from the two-sided geometric ("discrete Laplace")
+// distribution with P(k) proportional to alpha^|k|, alpha = exp(-1/scale).
+// It is the integer-valued analogue of Laplace(scale) (Ghosh, Roughgarden
+// and Sundararajan's universally optimal mechanism): adding it to a count
+// query with sensitivity s and scale s/eps yields eps-DP integral releases.
+// A non-positive scale returns 0, mirroring Laplace.
+func Geometric(rng *rand.Rand, scale float64) int64 {
+	if scale <= 0 {
+		return 0
+	}
+	lnAlpha := -1 / scale
+	// Difference of two iid one-sided geometrics on {0,1,...}, each sampled
+	// by inversion: floor(ln(U)/ln(alpha)) with U uniform on (0,1].
+	g := func() int64 {
+		u := 1 - rng.Float64() // (0, 1]: avoids ln(0)
+		return int64(math.Log(u) / lnAlpha)
+	}
+	return g() - g()
 }
 
 // ExpMech selects an index from scores using the exponential mechanism: index
@@ -51,23 +72,24 @@ func LaplaceMechanism(rng *rand.Rand, f []float64, sensitivity, epsilon float64)
 // Scores are shifted by their maximum before exponentiation for numerical
 // stability, which does not change the distribution. If epsilon is +Inf the
 // argmax is returned (ties broken uniformly), matching the limiting behaviour
-// proved in Lemma 2 of the paper.
-func ExpMech(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) int {
+// proved in Lemma 2 of the paper. Empty scores or a non-positive finite
+// epsilon are configuration errors, returned rather than panicking.
+func ExpMech(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) (int, error) {
 	return ExpMechBuf(rng, scores, sensitivity, epsilon, nil)
 }
 
 // ExpMechBuf is ExpMech with a caller-provided weight buffer (len(scores) or
 // nil), so repeated selections — e.g. MWEM's per-round query choice — do not
 // allocate. The sampled distribution is identical to ExpMech's.
-func ExpMechBuf(rng *rand.Rand, scores []float64, sensitivity, epsilon float64, weights []float64) int {
+func ExpMechBuf(rng *rand.Rand, scores []float64, sensitivity, epsilon float64, weights []float64) (int, error) {
 	if len(scores) == 0 {
-		panic("noise: empty score list in exponential mechanism")
+		return 0, fmt.Errorf("noise: empty score list in exponential mechanism")
 	}
 	if math.IsInf(epsilon, 1) {
-		return argmaxUniform(rng, scores)
+		return argmaxUniform(rng, scores), nil
 	}
 	if epsilon <= 0 {
-		panic("noise: non-positive epsilon in exponential mechanism")
+		return 0, fmt.Errorf("noise: non-positive epsilon %v in exponential mechanism", epsilon)
 	}
 	maxScore := scores[0]
 	for _, s := range scores[1:] {
@@ -88,10 +110,10 @@ func ExpMechBuf(rng *rand.Rand, scores []float64, sensitivity, epsilon float64, 
 	for i, w := range weights {
 		r -= w
 		if r <= 0 {
-			return i
+			return i, nil
 		}
 	}
-	return len(scores) - 1
+	return len(scores) - 1, nil
 }
 
 func argmaxUniform(rng *rand.Rand, scores []float64) int {

@@ -65,13 +65,23 @@ func TestLaplaceVecDoesNotMutate(t *testing.T) {
 	}
 }
 
-func TestLaplaceMechanismPanicsOnBadEps(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	LaplaceMechanism(rand.New(rand.NewSource(1)), []float64{1}, 1, 0)
+func TestLaplaceMechanismRejectsBadEps(t *testing.T) {
+	if _, err := LaplaceMechanism(rand.New(rand.NewSource(1)), []float64{1}, 1, 0); err == nil {
+		t.Fatal("expected an error for eps = 0")
+	}
+	if _, err := LaplaceMechanism(rand.New(rand.NewSource(1)), []float64{1}, 1, -1); err == nil {
+		t.Fatal("expected an error for eps < 0")
+	}
+}
+
+// mustExpMech unwraps ExpMech in tests exercising valid configurations.
+func mustExpMech(t *testing.T, rng *rand.Rand, scores []float64, sens, eps float64) int {
+	t.Helper()
+	i, err := ExpMech(rng, scores, sens, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
 }
 
 func TestExpMechInfinityPicksArgmax(t *testing.T) {
@@ -79,7 +89,7 @@ func TestExpMechInfinityPicksArgmax(t *testing.T) {
 	scores := []float64{1, 5, 3, 5, 2}
 	counts := map[int]int{}
 	for i := 0; i < 1000; i++ {
-		counts[ExpMech(rng, scores, 1, math.Inf(1))]++
+		counts[mustExpMech(t, rng, scores, 1, math.Inf(1))]++
 	}
 	if counts[0]+counts[2]+counts[4] != 0 {
 		t.Fatalf("picked non-max items: %v", counts)
@@ -95,7 +105,7 @@ func TestExpMechPrefersHighScores(t *testing.T) {
 	hi := 0
 	const n = 10_000
 	for i := 0; i < n; i++ {
-		if ExpMech(rng, scores, 1, 2) == 1 {
+		if mustExpMech(t, rng, scores, 1, 2) == 1 {
 			hi++
 		}
 	}
@@ -112,7 +122,7 @@ func TestExpMechDistribution(t *testing.T) {
 	const n = 200_000
 	hi := 0
 	for i := 0; i < n; i++ {
-		if ExpMech(rng, scores, sens, eps) == 1 {
+		if mustExpMech(t, rng, scores, sens, eps) == 1 {
 			hi++
 		}
 	}
@@ -123,13 +133,13 @@ func TestExpMechDistribution(t *testing.T) {
 	}
 }
 
-func TestExpMechPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	ExpMech(rand.New(rand.NewSource(1)), nil, 1, 1)
+func TestExpMechRejectsBadInput(t *testing.T) {
+	if _, err := ExpMech(rand.New(rand.NewSource(1)), nil, 1, 1); err == nil {
+		t.Fatal("expected an error for empty scores")
+	}
+	if _, err := ExpMech(rand.New(rand.NewSource(1)), []float64{1, 2}, 1, 0); err == nil {
+		t.Fatal("expected an error for eps = 0")
+	}
 }
 
 func TestBinomialEdgeCases(t *testing.T) {

@@ -10,7 +10,6 @@ package tree
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/noise"
 )
@@ -302,18 +301,39 @@ func (nd *Node) TrueCount(data []float64) float64 {
 	return s
 }
 
+// levelLabels precomputes the ledger labels Measure charges under, one per
+// tree depth, so the metered hot path performs no string formatting.
+var levelLabels = func() (out [64]string) {
+	for i := range out {
+		out[i] = fmt.Sprintf("level%d", i)
+	}
+	return
+}()
+
+// LevelLabel returns the ledger label for measurements at tree depth d.
+// Composition plans cover all depths with the wildcard entry "level*".
+func LevelLabel(d int) string {
+	if d >= 0 && d < len(levelLabels) {
+		return levelLabels[d]
+	}
+	return "level-deep"
+}
+
 // Measure assigns each node at depth d (root depth 0) a Laplace-noised
 // measurement with per-level budget epsByLevel[d]; a zero budget leaves the
-// level unmeasured. The per-level budgets must sum to at most the total
-// privacy budget of the caller, since each record contributes once per level.
-func (nd *Node) Measure(rng *rand.Rand, data []float64, epsByLevel []float64) {
+// level unmeasured. The per-level budgets must sum to at most the meter's
+// total budget, since each record contributes to one node per level: the
+// nodes of one level partition the domain, so each level is charged as a
+// parallel scope under LevelLabel(depth) and the whole tree costs
+// sum(epsByLevel).
+func (nd *Node) Measure(m *noise.Meter, data []float64, epsByLevel []float64) {
 	nd.Walk(func(v *Node, depth int) {
 		if depth >= len(epsByLevel) || epsByLevel[depth] <= 0 {
 			v.Y, v.Var = 0, math.Inf(1)
 			return
 		}
 		eps := epsByLevel[depth]
-		v.Y = v.TrueCount(data) + noise.Laplace(rng, 1/eps)
+		v.Y = v.TrueCount(data) + m.LaplacePar(LevelLabel(depth), 1/eps, eps)
 		v.Var = 2 / (eps * eps)
 	})
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/noise"
 )
 
 func TestBuildIntervalStructure(t *testing.T) {
@@ -136,7 +138,7 @@ func TestMeasureSetsVariances(t *testing.T) {
 	root, _ := BuildInterval(8, 2)
 	data := make([]float64, 8)
 	eps := tree8Budget(1.0)
-	root.Measure(rng, data, eps)
+	root.Measure(noise.NewMeter(1, rng), data, eps)
 	root.Walk(func(nd *Node, depth int) {
 		want := 2 / (eps[depth] * eps[depth])
 		if math.Abs(nd.Var-want) > 1e-12 {
@@ -153,7 +155,7 @@ func TestMeasureUnmeasuredLevels(t *testing.T) {
 	data := []float64{5, 5, 5, 5}
 	// Only leaves measured.
 	budget := []float64{0, 0, 1}
-	root.Measure(rng, data, budget)
+	root.Measure(noise.NewMeter(1, rng), data, budget)
 	if !math.IsInf(root.Var, 1) {
 		t.Fatalf("unmeasured root should have infinite variance, got %v", root.Var)
 	}
@@ -175,7 +177,7 @@ func TestInferExactWhenNoiseFree(t *testing.T) {
 	for i := range data {
 		data[i] = float64(i * i)
 	}
-	root.Measure(rng, data, UniformLevelBudget(1e9, root.Height()))
+	root.Measure(noise.NewMeter(1, rng), data, UniformLevelBudget(1e9, root.Height()))
 	est := root.Infer(16)
 	for i := range data {
 		if math.Abs(est[i]-data[i]) > 1e-3 {
@@ -193,7 +195,7 @@ func TestInferConsistency(t *testing.T) {
 	for i := range data {
 		data[i] = float64(i % 7)
 	}
-	root.Measure(rng, data, UniformLevelBudget(0.5, root.Height()))
+	root.Measure(noise.NewMeter(1, rng), data, UniformLevelBudget(0.5, root.Height()))
 	est := root.Infer(32)
 	// Walk each node: its leaf-spread estimate must be internally consistent,
 	// i.e. cell sums within each node's span should match the hierarchical
@@ -229,7 +231,7 @@ func TestInferVarianceReduction(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < trials; trial++ {
 		root, _ := BuildInterval(n, 2)
-		root.Measure(rng, data, UniformLevelBudget(eps, root.Height()))
+		root.Measure(noise.NewMeter(1, rng), data, UniformLevelBudget(eps, root.Height()))
 		est := root.Infer(n)
 		var ht float64
 		for _, v := range est {
@@ -331,7 +333,7 @@ func TestInferPreservesTotalProperty(t *testing.T) {
 		for i := range data {
 			data[i] = float64(rng.Intn(50))
 		}
-		root.Measure(rng, data, UniformLevelBudget(100, root.Height()))
+		root.Measure(noise.NewMeter(1, rng), data, UniformLevelBudget(100, root.Height()))
 		est := root.Infer(n)
 		var total, want float64
 		for i := range data {
