@@ -287,6 +287,85 @@ func BenchmarkAlgoSF(b *testing.B)       { benchAlgorithm1D(b, "SF") }
 func BenchmarkAlgoAHP(b *testing.B)      { benchAlgorithm1D(b, "AHP") }
 func BenchmarkAlgoPHP(b *testing.B)      { benchAlgorithm1D(b, "PHP") }
 
+// --- Plan/Execute amortization benchmarks ---
+
+// BenchmarkPlanExecute measures ONE trial through a prepared plan (structure
+// building amortized away), next to BenchmarkAlgo* which pays Plan+Execute
+// per Run. The gap is what the experiment runner saves on every trial after
+// the first.
+func BenchmarkPlanExecute(b *testing.B) {
+	d, err := dataset.ByName("SEARCH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x, err := d.Generate(rng, 100_000, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.Prefix(4096)
+	for _, name := range []string{"IDENTITY", "HB", "PRIVELET", "DAWA", "MWEM", "EFPA", "SF", "AHP", "PHP"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			a, err := algo.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := a.Plan(x, w, 0.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]float64, x.N())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Execute(noise.NewMeter(0.1, rng), out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLargeDomain executes prepared plans for the data-independent
+// mechanisms on domains up to 2^20 bins — the scaling regime the Plan split
+// opens up: the million-node structures are built once (and cached
+// process-wide), so each trial costs only its noise draws and inference.
+func BenchmarkLargeDomain(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i % 23)
+		}
+		x, err := vec.FromData(data, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"IDENTITY", "H", "HB", "PRIVELET"} {
+			name := name
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				a, err := algo.New(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := a.Plan(x, nil, 0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(2))
+				out := make([]float64, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := p.Execute(noise.NewMeter(0.1, rng), out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Ablation benchmarks for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationConsistency compares hierarchical estimation with and

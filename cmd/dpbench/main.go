@@ -7,6 +7,7 @@
 //	dpbench -experiment fig1a            # quick grid (seconds..minutes)
 //	dpbench -experiment tab3b -full      # the paper's full grid (slow)
 //	dpbench -experiment all -workers 8   # bound the experiment worker pool
+//	dpbench -experiment fig1a -n 1048576 # 1D sweep at a million-bin domain
 //	dpbench -experiment all -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The grid runs on a bounded worker pool (default: GOMAXPROCS); output is
@@ -44,6 +45,7 @@ func run() int {
 		full       = flag.Bool("full", false, "run the paper's full grid instead of the quick one")
 		seed       = flag.Int64("seed", 20160626, "random seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the experiment grid (results are identical for any value)")
+		domain1D   = flag.Int("n", 0, "override the 1D domain size (0 = the grid's default; planned mechanisms scale to 2^20 bins)")
 		audit      = flag.Bool("audit", false, "verify the privacy-budget ledger after every trial (output is identical; fails fast on any budget-math bug)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -78,7 +80,7 @@ func run() int {
 		}()
 	}
 
-	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers, Audit: *audit}
+	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers, Audit: *audit, Domain1D: *domain1D}
 
 	runners := map[string]func() error{
 		"fig1a":    func() error { _, err := experiments.Fig1a(opt); return err },

@@ -17,14 +17,30 @@
 // coordinate-indexed slot, so output is bit-identical for every worker
 // count, including the serial path.
 //
+// Mechanism execution is split into Plan and Execute: Algorithm.Plan
+// prepares an executable release plan for one (data, workload, epsilon)
+// cell — all deterministic structure building (trees, transforms, layouts,
+// score tables, deviation tables) happens there, with no randomness and no
+// privacy cost — and Plan.Execute runs one independent trial through a
+// noise.Meter. Run is exactly Plan followed by one Execute, so both entry
+// points are bit-identical (a registry-wide property test enforces it).
+// Every plan is safe for concurrent Execute: the runners build one plan per
+// (sample, algorithm) and share it read-only across trials and workers,
+// while data-independent structures (interval trees, grids, quadtrees,
+// branching factors, Hilbert permutations, canonical workload weights) are
+// additionally cached process-wide. The flattened tree form
+// (internal/tree.Flat) keeps per-trial measurements in pooled scratch
+// outside the shared structure.
+//
 // The per-trial hot path is allocation-free: workload query bounds are
 // stored flat (struct-of-arrays) and answered through the reusable
-// workload.Evaluator; MWEM applies range-based multiplicative-weight updates
-// with a deferred renormalization scalar; DAWA's partition costs are
-// computed by merging sorted half-intervals (dyadic) or a rank-indexed
-// Fenwick scanner (the unrestricted ablation); and the runners pool
-// per-worker scratch buffers. Golden tests pin every optimized path to the
-// seed implementations. See README.md ("Performance").
+// workload.Evaluator; MWEM applies multiplicative-weight updates through a
+// lazy range-multiply segment tree (1D) with a deferred renormalization
+// scalar; DAWA's partition costs are tabulated once per plan (merged sorted
+// half-intervals for the dyadic set, a rank-indexed Fenwick scanner for the
+// unrestricted ablation) and only perturbed per trial; and the runners give
+// every worker a private scratch arena. Golden tests pin every optimized
+// path to the seed implementations. See README.md ("Performance").
 //
 // Privacy-budget enforcement is machine-checked end to end. Every mechanism
 // draws all of its randomness through a noise.Meter — an accountant-backed
@@ -33,7 +49,8 @@
 // sequentially (spends add) or in parallel (spends over disjoint partitions
 // count their maximum once). In audit mode (core.Config.Audit, the trainer's
 // Audit field, experiments.Options.Audit, the CLI's -audit flag) every trial
-// runs through algo.RunAudited, which fails the run unless the ledger sums
+// runs through algo.ExecuteAudited (algo.RunAudited for one-shot callers),
+// which fails the run unless the ledger sums
 // to exactly the trial's epsilon (within 1e-9; under-spend fails too) and
 // stays inside the declared plan (the budget arithmetic is machine-checked;
 // the scale/spend calibration of each draw is stated at its draw site and

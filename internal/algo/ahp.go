@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/vec"
@@ -71,14 +72,36 @@ func (a *AHP) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (a *AHP) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(a, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: stage one is one vector query at rho*eps
 // (the histogram has L1 sensitivity 1), stage two measures disjoint
 // clusters in a parallel scope at the remaining (1-rho)*eps.
-func (a *AHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (a *AHP) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(a, x, w, m)
+}
+
+// ahpPlan resolves the (possibly trained) parameters once; the clustering
+// itself runs on fresh noise every trial, through pooled scratch.
+type ahpPlan struct {
+	data       []float64
+	n          int
+	eps1, eps2 float64
+	threshold  float64
+	bufs       sync.Pool // *ahpScratch
+}
+
+// ahpScratch is one trial's stage-one state: the noisy histogram, the sort
+// permutation, and the cluster boundaries over it.
+type ahpScratch struct {
+	noisy  []float64
+	order  []int
+	bounds []int
+}
+
+// Plan implements Algorithm.
+func (a *AHP) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -91,37 +114,50 @@ func (a *AHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]f
 	}
 	n := x.N()
 	eps1 := rho * eps
-	eps2 := (1 - rho) * eps
+	p := &ahpPlan{
+		data: x.Data, n: n, eps1: eps1, eps2: (1 - rho) * eps,
+		threshold: eta * math.Log(float64(n)) / eps1,
+	}
+	p.bufs.New = func() any {
+		return &ahpScratch{noisy: make([]float64, n), order: make([]int, n), bounds: make([]int, 0, 64)}
+	}
+	return p, nil
+}
+
+func (p *ahpPlan) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*ahpScratch)
+	defer p.bufs.Put(sc)
 
 	// Stage one: noisy counts, threshold, sort, greedy cluster.
-	noisy := m.LaplaceVec("counts", x.Data, 1/eps1, eps1)
-	threshold := eta * math.Log(float64(n)) / eps1
+	noisy := m.LaplaceVecInto("counts", sc.noisy, p.data, 1/p.eps1, p.eps1)
 	for i, v := range noisy {
-		if v < threshold {
+		if v < p.threshold {
 			noisy[i] = 0
 		}
 	}
-	order := make([]int, n)
+	order := sc.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(p, q int) bool { return noisy[order[p]] < noisy[order[q]] })
+	sort.Slice(order, func(a, b int) bool { return noisy[order[a]] < noisy[order[b]] })
 
 	// Greedy clustering over the sorted counts: extend the current cluster
 	// while the approximation error of forcing uniformity stays below the
 	// marginal Laplace error of opening a new cluster (expected absolute
-	// noise 1/eps2 per cluster count).
-	clusters := greedyCluster(noisy, order, 1/eps2)
+	// noise 1/eps2 per cluster count). Clusters are consecutive runs of the
+	// sort order, so boundaries over it represent them without allocating.
+	bounds := greedyClusterBounds(noisy, order, 1/p.eps2, sc.bounds[:0])
+	sc.bounds = bounds
 
 	// Stage two: fresh noisy total per cluster, uniform within. Clusters are
 	// disjoint, so the per-cluster spends compose in parallel to eps2.
-	out := make([]float64, n)
-	for _, cl := range clusters {
+	for b := 0; b+1 < len(bounds); b++ {
+		cl := order[bounds[b]:bounds[b+1]]
 		var trueTotal float64
 		for _, cell := range cl {
-			trueTotal += x.Data[cell]
+			trueTotal += p.data[cell]
 		}
-		est := trueTotal + m.LaplacePar("clusters", 1/eps2, eps2)
+		est := trueTotal + m.LaplacePar("clusters", 1/p.eps2, p.eps2)
 		if est < 0 {
 			est = 0
 		}
@@ -130,7 +166,7 @@ func (a *AHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]f
 			out[cell] = per
 		}
 	}
-	return out, m.Err()
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.
@@ -141,20 +177,19 @@ func (a *AHP) CompositionPlan() noise.Plan {
 	}
 }
 
-// greedyCluster walks cells in sorted order of their stage-one counts and
-// groups them while the within-cluster spread stays below 2*noiseUnit,
+// greedyClusterBounds walks cells in sorted order of their stage-one counts
+// and groups them while the within-cluster spread stays below 2*noiseUnit,
 // mirroring the greedy strategy the AHP authors use in their experiments.
-func greedyCluster(sortedVals []float64, order []int, noiseUnit float64) [][]int {
-	var clusters [][]int
-	var cur []int
-	var curMin, curMax float64
-	for _, cell := range order {
+// Clusters are returned as boundary offsets into order (first 0, last
+// len(order)), appended to bounds.
+func greedyClusterBounds(sortedVals []float64, order []int, noiseUnit float64, bounds []int) []int {
+	if len(order) == 0 {
+		return bounds
+	}
+	bounds = append(bounds, 0)
+	curMin, curMax := sortedVals[order[0]], sortedVals[order[0]]
+	for i, cell := range order[1:] {
 		v := sortedVals[cell]
-		if len(cur) == 0 {
-			cur = []int{cell}
-			curMin, curMax = v, v
-			continue
-		}
 		lo, hi := curMin, curMax
 		if v < lo {
 			lo = v
@@ -163,16 +198,11 @@ func greedyCluster(sortedVals []float64, order []int, noiseUnit float64) [][]int
 			hi = v
 		}
 		if hi-lo <= 2*noiseUnit {
-			cur = append(cur, cell)
 			curMin, curMax = lo, hi
 			continue
 		}
-		clusters = append(clusters, cur)
-		cur = []int{cell}
+		bounds = append(bounds, i+1)
 		curMin, curMax = v, v
 	}
-	if len(cur) > 0 {
-		clusters = append(clusters, cur)
-	}
-	return clusters
+	return append(bounds, len(order))
 }

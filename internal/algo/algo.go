@@ -26,8 +26,14 @@ type Algorithm interface {
 	// depends on the input data (Section 3.1).
 	DataDependent() bool
 	// Run releases an estimate of x under epsilon-differential privacy.
-	// The returned slice has one entry per cell of x.
+	// The returned slice has one entry per cell of x. Run is exactly
+	// Plan(x, w, eps) followed by one Execute.
 	Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error)
+	// Plan prepares an executable release plan for the cell (x, w, eps),
+	// performing all deterministic structure building up front so repeated
+	// trials pay only for noise and inference. Plans draw no randomness and
+	// spend no budget; Execute may run concurrently on one plan.
+	Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, error)
 }
 
 // Metered is implemented by every mechanism in this package. RunMeter is Run
@@ -56,27 +62,15 @@ type Planner interface {
 // claims (Section 2.1, Table 1) rest on: core.Run and the trainer call it for
 // every trial when audit mode is on.
 func RunAudited(a Algorithm, x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	ma, ok := a.(Metered)
-	if !ok {
-		return nil, fmt.Errorf("algo: %s does not support metered execution", a.Name())
-	}
-	m, err := noise.NewAuditedMeter(eps, rng)
+	p, err := a.Plan(x, w, eps)
 	if err != nil {
 		return nil, err
 	}
-	defer m.Release()
-	est, err := ma.RunMeter(x, w, m)
-	if err != nil {
+	out := make([]float64, x.N())
+	if err := ExecuteAudited(a, p, eps, rng, out); err != nil {
 		return nil, err
 	}
-	var plan noise.Plan
-	if p, ok := a.(Planner); ok {
-		plan = p.CompositionPlan()
-	}
-	if err := m.Audit(plan); err != nil {
-		return nil, fmt.Errorf("algo: %s failed the budget audit: %w", a.Name(), err)
-	}
-	return est, nil
+	return out, nil
 }
 
 // SideInfoUser is implemented by mechanisms that consume the true scale as

@@ -299,10 +299,25 @@ func TestAHPClustersUniformRegions(t *testing.T) {
 func TestGreedyClusterGrouping(t *testing.T) {
 	vals := []float64{0, 0.1, 0.2, 10, 10.1, 20}
 	order := []int{0, 1, 2, 3, 4, 5}
-	clusters := greedyCluster(vals, order, 0.5) // spread tolerance 1.0
-	if len(clusters) != 3 {
-		t.Fatalf("got %d clusters, want 3: %v", len(clusters), clusters)
+	bounds := greedyClusterBounds(vals, order, 0.5, nil) // spread tolerance 1.0
+	if len(bounds) != 4 {
+		t.Fatalf("got %d clusters, want 3: bounds %v", len(bounds)-1, bounds)
 	}
+	if want := []int{0, 3, 5, 6}; !equalInts(bounds, want) {
+		t.Fatalf("got cluster bounds %v, want %v", bounds, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestDAWARecoversPiecewiseConstant(t *testing.T) {
@@ -337,12 +352,22 @@ func TestDAWARecoversPiecewiseConstant(t *testing.T) {
 }
 
 func TestDAWAPartitionCoversDomain(t *testing.T) {
-	d := &DAWA{Rho: 0.25, B: 2}
+	d := &DAWA{Rho: 0.5, B: 2} // eps1 = eps2 = 0.5 at eps = 1
 	data := make([]float64, 64)
 	for i := range data {
 		data[i] = float64(i % 8)
 	}
-	bounds := d.partition(data, 0.5, 0.5, noise.NewMeter(1, rand.New(rand.NewSource(12))))
+	x, err := vec.FromData(data, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := d.Plan(x, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := pl.(*dawaPlan)
+	sc := dp.bufs.Get().(*dawaScratch)
+	bounds := dp.partition(sc, noise.NewMeter(1, rand.New(rand.NewSource(12))))
 	if bounds[0] != 0 || bounds[len(bounds)-1] != 64 {
 		t.Fatalf("bounds do not span domain: %v", bounds)
 	}
@@ -542,7 +567,17 @@ func TestEFPACompressesSmoothData(t *testing.T) {
 func TestSFBucketCount(t *testing.T) {
 	s := &SF{Rho: 0.5, BucketDivisor: 10}
 	data := make([]float64, 100)
-	bounds := s.selectBoundaries(data, 10, 1.0, 100, noise.NewMeter(2, rand.New(rand.NewSource(19))))
+	x, err := vec.FromData(data, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.Plan(x, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := pl.(*sfPlan)
+	sc := sp.bufs.Get().(*sfScratch)
+	bounds := sp.selectBoundaries(sc, 1.0, 100, noise.NewMeter(2, rand.New(rand.NewSource(19))))
 	if len(bounds) != 11 {
 		t.Fatalf("%d boundaries, want 11 (k=10 buckets)", len(bounds))
 	}

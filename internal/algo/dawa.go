@@ -6,9 +6,10 @@ import (
 	"math/bits"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/noise"
-	"repro/internal/transform"
+	"repro/internal/tree"
 	"repro/internal/vec"
 	"repro/internal/workload"
 )
@@ -49,36 +50,14 @@ func (d *DAWA) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (d *DAWA) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return d.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(d, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: stage one charges per-dyadic-level parallel
 // scopes summing to rho*eps, and stage two runs inside a sequential
 // sub-meter holding the remaining (1-rho)*eps.
 func (d *DAWA) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
-	if err := validate(x, m.Total()); err != nil {
-		return nil, err
-	}
-	switch x.K() {
-	case 1:
-		return d.run1D(x.Data, w, m)
-	case 2:
-		ny, nx := x.Dims[0], x.Dims[1]
-		if nx != ny {
-			return nil, fmt.Errorf("dawa: 2D requires a square grid, got %dx%d", nx, ny)
-		}
-		lin, perm, err := transform.HilbertLinearize(x.Data, nx)
-		if err != nil {
-			return nil, err
-		}
-		est, err := d.run1D(lin, nil, m)
-		if err != nil {
-			return nil, err
-		}
-		return transform.HilbertDelinearize(est, perm), nil
-	default:
-		return nil, fmt.Errorf("dawa: unsupported dimensionality %d", x.K())
-	}
+	return runPlanMeter(d, x, w, m)
 }
 
 // CompositionPlan implements Planner. "part-forfeit" covers stage-one budget
@@ -95,8 +74,87 @@ func (d *DAWA) CompositionPlan() noise.Plan {
 	}
 }
 
-func (d *DAWA) run1D(data []float64, w *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+// dawaCandidate is one precomputed partition candidate: the interval, its
+// exact (noise-free) deviation cost, and the ledger-label index of its
+// dyadic level. The per-trial work is just the Laplace draw on top.
+type dawaCandidate struct {
+	lo, hi int32
+	level  int32 // dyadic level (TrailingZeros of size); unused by the ablation
+	dev    float64
+}
+
+// dawaPlan precomputes everything about stage one that does not depend on
+// noise — the full candidate table in the exact seed enumeration order, the
+// DP's end-grouping, the noise calibration — plus the Hilbert linearization
+// for 2D. Each Execute re-runs the partition DP and stage two on fresh noise
+// through pooled scratch.
+type dawaPlan struct {
+	data []float64 // 1D data, or its Hilbert linearization in 2D
+	w    *workload.Workload
+	perm []int // 2D only
+	n, b int
+
+	eps1, eps2 float64
+	penalty    float64
+	costNoise  float64 // dyadic per-candidate noise scale
+	epsLevel   float64
+	forfeit    float64 // phantom-level charge on non-pow2 domains (0 if none)
+	allNoise   float64 // ablation noise scale
+	ablation   bool
+
+	cands  []dawaCandidate
+	endOff []int32 // candidate indices with hi == j: endIdx[endOff[j]:endOff[j+1]]
+	endIdx []int32
+
+	bufs sync.Pool // *dawaScratch
+}
+
+// dawaScratch is one trial's partition and stage-two state. The stage-two
+// hierarchy over the trial's buckets is rebuilt into the ftree arena — the
+// noisy bucket count k rarely repeats across trials, so rebuilding beats any
+// cache (and is allocation-free at steady state).
+type dawaScratch struct {
+	costs        []float64
+	best         []float64
+	back         []int
+	bounds       []int
+	bucketData   []float64
+	bucketEst    []float64
+	cellToBucket []int
+	weights      []float64
+	est          []float64 // 2D only: linearized estimate
+	sub          noise.Meter
+	ftree        tree.Flat
+	fsc          *tree.Scratch
+}
+
+// Plan implements Algorithm. The deviation table — the expensive half of
+// stage one — is a deterministic function of the data, so it is computed
+// once here (O(n log n) for the dyadic set) and only perturbed per trial.
+func (d *DAWA) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, error) {
+	if err := validate(x, eps); err != nil {
+		return nil, err
+	}
+	var data []float64
+	var perm []int
+	switch x.K() {
+	case 1:
+		data = x.Data
+	case 2:
+		ny, nx := x.Dims[0], x.Dims[1]
+		if nx != ny {
+			return nil, fmt.Errorf("dawa: 2D requires a square grid, got %dx%d", nx, ny)
+		}
+		var err error
+		data, perm, err = hilbertLinearizeCached(x.Data, nx)
+		if err != nil {
+			return nil, err
+		}
+		w = nil // rectangles do not map to intervals on the curve
+	default:
+		return nil, fmt.Errorf("dawa: unsupported dimensionality %d", x.K())
+	}
+
 	rho := d.Rho
 	if rho <= 0 || rho >= 1 {
 		rho = 0.25
@@ -106,135 +164,232 @@ func (d *DAWA) run1D(data []float64, w *workload.Workload, m *noise.Meter) ([]fl
 		b = 2
 	}
 	n := len(data)
-	eps1 := rho * eps
-	eps2 := (1 - rho) * eps
+	p := &dawaPlan{
+		data: data, w: w, perm: perm, n: n, b: b,
+		eps1: rho * eps, eps2: (1 - rho) * eps,
+		ablation: d.NoDyadicRestriction,
+	}
+	p.penalty = 1 / p.eps2
 
-	bounds := d.partition(data, eps1, eps2, m)
+	if n > 1 {
+		levels := log2Ceil(n) + 1
+		// One record changes one cell by 1, which changes the cost of each
+		// containing interval by at most 2; a cell is in at most one interval
+		// per dyadic level.
+		p.costNoise = 2 * float64(levels) / p.eps1
+		p.epsLevel = p.eps1 / float64(levels)
+		if p.ablation {
+			// Exact O(n^2) interval set (ablation only; noise calibrated to
+			// the declared sensitivity n, as in the published ablation). The
+			// whole interval-cost family is accounted as one eps1 scope to
+			// match that declaration. Deviations are maintained incrementally
+			// over hi by a rank-indexed Fenwick scanner and tabulated once —
+			// the enumeration order (lo ascending, then hi) is the seed
+			// noise-draw order.
+			p.allNoise = 2 * float64(n) / p.eps1
+			p.cands = make([]dawaCandidate, 0, n*(n+1)/2)
+			scan := newL1DevScanner(data)
+			for lo := 0; lo < n; lo++ {
+				scan.Restart()
+				for hi := lo + 1; hi <= n; hi++ {
+					scan.Push(hi - 1)
+					p.cands = append(p.cands, dawaCandidate{lo: int32(lo), hi: int32(hi), dev: scan.Deviation()})
+				}
+			}
+		} else {
+			// All aligned dyadic intervals, costs computed bottom-up by
+			// merging sorted halves; the visit order matches the seed
+			// enumeration (ascending size, then lo), so the per-trial noise
+			// stream is unchanged.
+			p.cands = make([]dawaCandidate, 0, 2*n)
+			dyadicDeviations(data, func(lo, size int, dev float64) {
+				p.cands = append(p.cands, dawaCandidate{
+					lo: int32(lo), hi: int32(lo + size),
+					level: int32(bits.TrailingZeros(uint(size))), dev: dev,
+				})
+			})
+			// The noise calibration counts log2Ceil(n)+1 levels, but on a
+			// non-power-of-two domain only floor(log2(n))+1 dyadic sizes
+			// exist: the phantom level's slice is charged as a forfeit so the
+			// ledger sums to eps1 exactly (the calibration over-noises by
+			// that slice — kept as-is to preserve the published noise
+			// stream).
+			if actual := bits.Len(uint(n)); actual < levels {
+				p.forfeit = float64(levels-actual) * p.epsLevel
+			}
+		}
+		// Group candidate indices by interval end for the DP, preserving the
+		// enumeration order within each group (the DP's tie-breaking order).
+		p.endOff = make([]int32, n+2)
+		for _, c := range p.cands {
+			p.endOff[c.hi+1]++
+		}
+		for j := 1; j <= n+1; j++ {
+			p.endOff[j] += p.endOff[j-1]
+		}
+		p.endIdx = make([]int32, len(p.cands))
+		fill := make([]int32, n+1)
+		for i, c := range p.cands {
+			p.endIdx[p.endOff[c.hi]+fill[c.hi]] = int32(i)
+			fill[c.hi]++
+		}
+	}
+
+	p.bufs.New = func() any {
+		return &dawaScratch{
+			fsc:        tree.NewScratch(),
+			costs:      make([]float64, len(p.cands)),
+			best:       make([]float64, n+1),
+			back:       make([]int, n+1),
+			bounds:     make([]int, 0, n+1),
+			bucketData: make([]float64, n),
+			bucketEst:  make([]float64, n),
+		}
+	}
+	return p, nil
+}
+
+func (p *dawaPlan) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*dawaScratch)
+	defer p.bufs.Put(sc)
+
+	bounds := p.partition(sc, m)
 	k := len(bounds) - 1
 
 	// Stage two: GreedyH on the bucket-level vector. The workload is mapped
 	// onto buckets by translating each cell range to the covering bucket
 	// range, which preserves prefix/range structure.
-	bucketData := make([]float64, k)
+	bucketData := sc.bucketData[:k]
 	for i := 0; i < k; i++ {
+		bucketData[i] = 0
 		for c := bounds[i]; c < bounds[i+1]; c++ {
-			bucketData[i] += data[c]
+			bucketData[i] += p.data[c]
 		}
 	}
-	weights := bucketLevelWeights(n, k, b, bounds, w)
-	sub := m.SubEps("stage2", eps2)
-	bucketEst, err := greedyHEstimate(bucketData, b, weights, sub)
-	sub.Close()
-	if err != nil {
-		return nil, err
+	if err := sc.ftree.RebuildInterval(k, p.b); err != nil {
+		return err
 	}
-	out := make([]float64, n)
+	weights := p.bucketWeights(sc, &sc.ftree, bounds, k)
+	bucketEst := sc.bucketEst[:k]
+	m.ResetSub(&sc.sub, "stage2", p.eps2, false)
+	sc.ftree.ComputeSums(bucketData, sc.fsc)
+	sc.ftree.MeasureInto(&sc.sub, sc.fsc, levelBudgetFromWeights(p.eps2, sc.ftree.Height(), weights))
+	sc.ftree.InferInto(sc.fsc, bucketEst)
+	sc.sub.Close()
+
+	if p.perm == nil {
+		for i := 0; i < k; i++ {
+			uniformSpread(out, bounds[i], bounds[i+1], bucketEst[i])
+		}
+		return m.Err()
+	}
+	if sc.est == nil {
+		sc.est = make([]float64, p.n)
+	}
 	for i := 0; i < k; i++ {
-		uniformSpread(out, bounds[i], bounds[i+1], bucketEst[i])
+		uniformSpread(sc.est, bounds[i], bounds[i+1], bucketEst[i])
 	}
-	return out, m.Err()
+	for d, src := range p.perm {
+		out[src] = sc.est[d]
+	}
+	return m.Err()
 }
 
-// partition runs stage one and returns bucket boundaries (len k+1, first 0,
-// last n). All interval costs are perturbed with Laplace noise calibrated to
-// the per-level sensitivity of the interval-cost vector, and the DP then
-// operates purely on noisy values (so stage one is eps1-DP). Each dyadic
-// level's intervals partition the domain, so the level is charged as one
-// parallel scope of eps1/levels.
-func (d *DAWA) partition(data []float64, eps1, eps2 float64, m *noise.Meter) []int {
-	n := len(data)
+// partition runs stage one on this trial's noise and returns bucket
+// boundaries (len k+1, first 0, last n), stored in the scratch. All interval
+// costs are the precomputed deviations perturbed with Laplace noise
+// calibrated to the per-level sensitivity of the interval-cost vector, and
+// the DP then operates purely on noisy values (so stage one is eps1-DP).
+// Each dyadic level's intervals partition the domain, so the level is
+// charged as one parallel scope of eps1/levels.
+func (p *dawaPlan) partition(sc *dawaScratch, m *noise.Meter) []int {
+	n := p.n
 	if n == 1 {
 		// A single-cell domain has no partition to select: the stage-one
 		// allocation buys nothing. Charge it explicitly so the ledger still
 		// accounts for the full budget (no noise is drawn, so golden outputs
 		// are untouched; over-reporting a spend is privacy-safe).
-		m.Charge("part-forfeit", eps1)
-		return []int{0, 1}
+		m.Charge("part-forfeit", p.eps1)
+		sc.bounds = append(sc.bounds[:0], 0, 1)
+		return sc.bounds
 	}
-	levels := log2Ceil(n) + 1
-	// One record changes one cell by 1, which changes the cost of each
-	// containing interval by at most 2; a cell is in at most one interval
-	// per dyadic level.
-	costNoise := 2 * float64(levels) / eps1
-	epsLevel := eps1 / float64(levels)
-	// The DP's per-bucket penalty: expected absolute Laplace error a bucket
-	// count will incur in stage two.
-	penalty := 1 / eps2
-
-	type candidate struct {
-		lo, hi int
-		cost   float64
-	}
-	var cands []candidate
-	if d.NoDyadicRestriction {
-		// Exact O(n^2) interval set (ablation only; noise calibrated to the
-		// declared sensitivity n, as in the published ablation). The whole
-		// interval-cost family is accounted as one eps1 scope to match that
-		// declaration. The deviation of [lo, hi) is maintained incrementally
-		// over hi by a rank-indexed Fenwick scanner, O(log n) per interval
-		// instead of a from-scratch O(hi-lo) pass.
-		allNoise := 2 * float64(n) / eps1
-		cands = make([]candidate, 0, n*(n+1)/2)
-		scan := newL1DevScanner(data)
-		for lo := 0; lo < n; lo++ {
-			scan.Restart()
-			for hi := lo + 1; hi <= n; hi++ {
-				scan.Push(hi - 1)
-				c := scan.Deviation() + m.LaplacePar("part-all", allNoise, eps1)
-				cands = append(cands, candidate{lo, hi, c})
-			}
+	costs := sc.costs
+	if p.ablation {
+		for i := range p.cands {
+			costs[i] = p.cands[i].dev + m.LaplacePar("part-all", p.allNoise, p.eps1)
 		}
 	} else {
-		// All aligned dyadic intervals, costs computed bottom-up by merging
-		// sorted halves; the visit order matches the seed enumeration
-		// (ascending size, then lo), so the noise stream is unchanged.
-		cands = make([]candidate, 0, 2*n)
-		dyadicDeviations(data, func(lo, size int, dev float64) {
-			lvl := bits.TrailingZeros(uint(size))
-			c := dev + m.LaplacePar(idxLabel(partLevelLabels, lvl), costNoise, epsLevel)
+		for i := range p.cands {
+			c := p.cands[i].dev + m.LaplacePar(idxLabel(partLevelLabels, int(p.cands[i].level)), p.costNoise, p.epsLevel)
 			// Deviation costs are non-negative by construction; clamping
 			// the noisy value is post-processing and stops the DP from
 			// chasing spuriously negative costs.
 			if c < 0 {
 				c = 0
 			}
-			cands = append(cands, candidate{lo, lo + size, c})
-		})
-		// The noise calibration counts log2Ceil(n)+1 levels, but on a
-		// non-power-of-two domain only floor(log2(n))+1 dyadic sizes exist:
-		// the phantom level's slice is charged as a forfeit so the ledger
-		// sums to eps1 exactly (the calibration over-noises by that slice —
-		// kept as-is to preserve the published noise stream).
-		if actual := bits.Len(uint(n)); actual < levels {
-			m.Charge("part-forfeit", float64(levels-actual)*epsLevel)
+			costs[i] = c
+		}
+		if p.forfeit > 0 {
+			m.Charge("part-forfeit", p.forfeit)
 		}
 	}
 
 	// DP over bucket endpoints: best[j] = min cost to cover [0, j).
-	byEnd := make([][]candidate, n+1)
-	for _, c := range cands {
-		byEnd[c.hi] = append(byEnd[c.hi], c)
-	}
-	best := make([]float64, n+1)
-	back := make([]int, n+1)
+	best, back := sc.best, sc.back
+	best[0] = 0
 	for j := 1; j <= n; j++ {
 		best[j] = math.Inf(1)
 		back[j] = j - 1
-		for _, c := range byEnd[j] {
-			total := best[c.lo] + c.cost + penalty
+		for _, ci := range p.endIdx[p.endOff[j]:p.endOff[j+1]] {
+			lo := int(p.cands[ci].lo)
+			total := best[lo] + costs[ci] + p.penalty
 			if total < best[j] {
 				best[j] = total
-				back[j] = c.lo
+				back[j] = lo
 			}
 		}
 	}
-	var bounds []int
+	bounds := sc.bounds[:0]
 	for j := n; j > 0; j = back[j] {
 		bounds = append(bounds, j)
 	}
 	bounds = append(bounds, 0)
 	sort.Ints(bounds)
+	sc.bounds = bounds
 	return bounds
+}
+
+// bucketWeights is bucketLevelWeights computed through scratch buffers over
+// the trial's cached bucket tree: the cell-to-bucket mapping and per-level
+// counts are identical, but no intermediate workload is materialized. A nil
+// result means uniform allocation, as with bucketLevelWeights.
+func (p *dawaPlan) bucketWeights(sc *dawaScratch, flat *tree.Flat, bounds []int, k int) []float64 {
+	w := p.w
+	if w == nil || len(w.Dims) != 1 || w.Dims[0] != p.n || k < 2 {
+		return nil
+	}
+	if cap(sc.cellToBucket) < p.n {
+		sc.cellToBucket = make([]int, p.n)
+	}
+	c2b := sc.cellToBucket[:p.n]
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		for c := bounds[bi]; c < bounds[bi+1]; c++ {
+			c2b[c] = bi
+		}
+	}
+	h := flat.Height()
+	if cap(sc.weights) < h {
+		sc.weights = make([]float64, h)
+	}
+	weights := sc.weights[:h]
+	for i := range weights {
+		weights[i] = 0
+	}
+	for qi := 0; qi < w.Size(); qi++ {
+		lo, hi := w.Range(qi)
+		flat.AddCanonicalCount(c2b[lo], c2b[hi], weights)
+	}
+	return weights
 }
 
 // bucketLevelWeights maps the cell-level workload onto the bucket domain and

@@ -2,6 +2,7 @@ package algo
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/vec"
@@ -36,14 +37,38 @@ func (d *DPCube) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (d *DPCube) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return d.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(d, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: the initial per-cell histogram is one vector
 // query at rho*eps; the kd-tree is post-processing; the fresh partition
 // counts are disjoint and compose in parallel to the remaining (1-rho)*eps.
-func (d *DPCube) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (d *DPCube) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(d, x, w, m)
+}
+
+// dpcubePlan resolves the parameters once; the kd-tree is re-derived from
+// each trial's fresh noisy histogram (that is the mechanism), with the
+// histogram and partition buffers recycled across trials.
+type dpcubePlan struct {
+	data       []float64
+	dims       []int
+	n          int
+	minCells   int
+	eps1, eps2 float64
+	bufs       sync.Pool // *dpcubeScratch
+}
+
+// dpcubeScratch is one trial's noisy histogram plus, in 1D, the partition
+// boundaries (1D kd partitions are contiguous intervals, so boundaries
+// replace the per-partition cell lists without changing content or order).
+type dpcubeScratch struct {
+	noisy  []float64
+	bounds []int
+}
+
+// Plan implements Algorithm.
+func (d *DPCube) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -55,42 +80,65 @@ func (d *DPCube) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) (
 	if minCells < 1 {
 		minCells = 10
 	}
-	eps1 := rho * eps
-	eps2 := (1 - rho) * eps
-	n := x.N()
+	p := &dpcubePlan{
+		data: x.Data, dims: x.Dims, n: x.N(), minCells: minCells,
+		eps1: rho * eps, eps2: (1 - rho) * eps,
+	}
+	p.bufs.New = func() any {
+		return &dpcubeScratch{noisy: make([]float64, p.n), bounds: make([]int, 0, 64)}
+	}
+	return p, nil
+}
 
-	noisy := m.LaplaceVec("counts", x.Data, 1/eps1, eps1)
+func (p *dpcubePlan) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*dpcubeScratch)
+	defer p.bufs.Put(sc)
+	noisy := m.LaplaceVecInto("counts", sc.noisy, p.data, 1/p.eps1, p.eps1)
+	cellVar := 2 / (p.eps1 * p.eps1)
 
-	// kd-tree over the noisy counts (pure post-processing of DP output).
-	var parts [][]int
-	switch x.K() {
-	case 1:
-		parts = kdSplit1D(noisy, 0, n, minCells, 1/eps1)
-	case 2:
-		parts = kdSplit2D(noisy, x.Dims[1], kdRect{0, 0, x.Dims[1], x.Dims[0]}, minCells, 1/eps1)
+	// kd-tree over the noisy counts (pure post-processing of DP output),
+	// then fresh counts for the partitions and a precision-weighted merge
+	// with the per-cell noisy estimates. Partition estimates spread
+	// uniformly carry variance 2/(eps2^2 * |p|^2) per cell (ignoring
+	// uniformity bias); per-cell estimates carry 2/eps1^2.
+	if len(p.dims) == 1 {
+		bounds := append(sc.bounds[:0], 0)
+		bounds = kdSplit1DBounds(noisy, 0, p.n, p.minCells, 1/p.eps1, bounds)
+		sc.bounds = bounds
+		for b := 0; b+1 < len(bounds); b++ {
+			lo, hi := bounds[b], bounds[b+1]
+			var trueTotal float64
+			for cell := lo; cell < hi; cell++ {
+				trueTotal += p.data[cell]
+			}
+			est := trueTotal + m.LaplacePar("parts", 1/p.eps2, p.eps2)
+			size := float64(hi - lo)
+			partPerCell := est / size
+			partVar := 2 / (p.eps2 * p.eps2 * size * size)
+			wPart := cellVar / (cellVar + partVar)
+			for cell := lo; cell < hi; cell++ {
+				out[cell] = wPart*partPerCell + (1-wPart)*noisy[cell]
+			}
+		}
+		return m.Err()
 	}
 
-	// Fresh counts for partitions; precision-weighted merge with the
-	// per-cell noisy estimates. Partition estimates spread uniformly carry
-	// variance 2/(eps2^2 * |p|^2) per cell (ignoring uniformity bias);
-	// per-cell estimates carry 2/eps1^2.
-	out := make([]float64, n)
-	cellVar := 2 / (eps1 * eps1)
-	for _, p := range parts {
+	parts := kdSplit2D(noisy, p.dims[1], kdRect{0, 0, p.dims[1], p.dims[0]}, p.minCells, 1/p.eps1)
+	for _, part := range parts {
 		var trueTotal float64
-		for _, cell := range p {
-			trueTotal += x.Data[cell]
+		for _, cell := range part {
+			trueTotal += p.data[cell]
 		}
-		est := trueTotal + m.LaplacePar("parts", 1/eps2, eps2)
-		size := float64(len(p))
+		est := trueTotal + m.LaplacePar("parts", 1/p.eps2, p.eps2)
+		size := float64(len(part))
 		partPerCell := est / size
-		partVar := 2 / (eps2 * eps2 * size * size)
+		partVar := 2 / (p.eps2 * p.eps2 * size * size)
 		wPart := cellVar / (cellVar + partVar)
-		for _, cell := range p {
+		for _, cell := range part {
 			out[cell] = wPart*partPerCell + (1-wPart)*noisy[cell]
 		}
 	}
-	return out, m.Err()
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.
@@ -101,23 +149,21 @@ func (d *DPCube) CompositionPlan() noise.Plan {
 	}
 }
 
-// kdSplit1D recursively partitions [lo, hi) of the noisy histogram, splitting
-// at the mass median while the interval looks non-uniform relative to the
-// noise level.
-func kdSplit1D(noisy []float64, lo, hi, minCells int, noiseUnit float64) [][]int {
+// kdSplit1DBounds recursively partitions [lo, hi) of the noisy histogram,
+// splitting at the mass median while the interval looks non-uniform relative
+// to the noise level. Partitions are contiguous, so they are returned as
+// ascending boundary offsets appended to bounds (the caller seeds it with
+// lo); the leaf order matches the left-to-right recursion.
+func kdSplit1DBounds(noisy []float64, lo, hi, minCells int, noiseUnit float64, bounds []int) []int {
 	if hi-lo <= 1 || stopSplitting(noisy[lo:hi], minCells, noiseUnit) {
-		cells := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			cells = append(cells, i)
-		}
-		return [][]int{cells}
+		return append(bounds, hi)
 	}
 	mid := massMedian(noisy, lo, hi)
 	if mid <= lo || mid >= hi {
 		mid = (lo + hi) / 2
 	}
-	return append(kdSplit1D(noisy, lo, mid, minCells, noiseUnit),
-		kdSplit1D(noisy, mid, hi, minCells, noiseUnit)...)
+	bounds = kdSplit1DBounds(noisy, lo, mid, minCells, noiseUnit, bounds)
+	return kdSplit1DBounds(noisy, mid, hi, minCells, noiseUnit, bounds)
 }
 
 type kdRect struct{ x0, y0, x1, y1 int }

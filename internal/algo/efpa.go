@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/transform"
@@ -40,14 +41,37 @@ func (EFPA) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (e EFPA) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return e.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(e, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: half the budget selects k via the exponential
 // mechanism, half perturbs the retained coefficients (one vector query of L1
 // sensitivity 2k/sqrt(n), charged as a single scope).
-func (EFPA) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (e EFPA) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(e, x, w, m)
+}
+
+// efpaPlan caches the deterministic per-cell work — the orthonormal spectrum
+// of the data and the full score table of the k-selection — so a trial is
+// one exponential-mechanism draw plus 2k Laplace draws and an inverse FFT.
+type efpaPlan struct {
+	F          []complex128 // orthonormal DFT of the data (read-only)
+	scores     []float64    // score table for the k selection (read-only)
+	n          int
+	epsK, epsC float64
+	bufs       sync.Pool // *efpaScratch
+}
+
+// efpaScratch holds one trial's exponential-mechanism weights, retained
+// coefficient buffer, and inverse-transform output.
+type efpaScratch struct {
+	weights []float64
+	kept    []complex128
+	inv     []complex128
+}
+
+// Plan implements Algorithm.
+func (EFPA) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -83,11 +107,28 @@ func (EFPA) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]flo
 		noiseErr := lapScale * math.Sqrt(4*float64(k))
 		scores[k-1] = -(trunc + noiseErr)
 	}
-	k := 1 + m.ExpMech("k", scores, 1, epsK)
+	p := &efpaPlan{F: F, scores: scores, n: n, epsK: epsK, epsC: epsC}
+	p.bufs.New = func() any {
+		return &efpaScratch{
+			weights: make([]float64, n),
+			kept:    make([]complex128, n),
+			inv:     make([]complex128, n),
+		}
+	}
+	return p, nil
+}
 
-	kept := efpaPerturb(F, n, k, epsC, m)
-	out := efpaInvert(kept, n)
-	return out, m.Err()
+func (p *efpaPlan) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*efpaScratch)
+	defer p.bufs.Put(sc)
+	k := 1 + m.ExpMechBuf("k", p.scores, 1, p.epsK, sc.weights)
+	kept := efpaPerturbInto(sc.kept, p.F, p.n, k, p.epsC, m)
+	inv := transform.IFFTInto(sc.inv, kept)
+	invScale := math.Sqrt(float64(p.n))
+	for i := 0; i < p.n; i++ {
+		out[i] = real(inv[i]) * invScale
+	}
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.
@@ -112,8 +153,17 @@ func (EFPA) CompositionPlan() noise.Plan {
 // independently perturbed and the reconstruction picked up spurious
 // imaginary mass that taking real() silently folded away.
 func efpaPerturb(F []complex128, n, k int, epsC float64, m *noise.Meter) []complex128 {
+	return efpaPerturbInto(make([]complex128, n), F, n, k, epsC, m)
+}
+
+// efpaPerturbInto is efpaPerturb writing into a caller-provided (possibly
+// dirty) buffer of length n, which is zeroed first so truncated slots stay
+// truncated across pooled reuses.
+func efpaPerturbInto(kept []complex128, F []complex128, n, k int, epsC float64, m *noise.Meter) []complex128 {
+	for i := range kept {
+		kept[i] = 0
+	}
 	lapScale := 2 * float64(k) / (math.Sqrt(float64(n)) * epsC)
-	kept := make([]complex128, n)
 	for j := 0; j < k; j++ {
 		kept[j] = F[j] + complex(m.LaplacePar("coeffs", lapScale, epsC), m.LaplacePar("coeffs", lapScale, epsC))
 	}
@@ -127,16 +177,4 @@ func efpaPerturb(F []complex128, n, k int, epsC float64, m *noise.Meter) []compl
 		}
 	}
 	return kept
-}
-
-// efpaInvert applies the inverse transform and undoes the orthonormal
-// scaling, returning the real-valued reconstruction.
-func efpaInvert(kept []complex128, n int) []float64 {
-	inv := transform.IFFT(kept)
-	out := make([]float64, n)
-	invScale := math.Sqrt(float64(n))
-	for i := range out {
-		out[i] = real(inv[i]) * invScale
-	}
-	return out
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
-	"repro/internal/transform"
 	"repro/internal/tree"
 	"repro/internal/vec"
 	"repro/internal/workload"
@@ -42,13 +42,29 @@ func (g *GreedyH) DataDependent() bool { return false }
 
 // Run implements Algorithm.
 func (g *GreedyH) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return g.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(g, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: per-level parallel scopes whose weighted
 // budgets sum to eps.
 func (g *GreedyH) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+	return runPlanMeter(g, x, w, m)
+}
+
+// greedyHPlan holds the cached hierarchy, the workload-tuned budget, and (in
+// 2D) the Hilbert linearization of the data — everything but the noise.
+type greedyHPlan struct {
+	flat   *tree.Flat
+	data   []float64 // 1D data, or its Hilbert linearization in 2D
+	budget []float64
+	perm   []int     // 2D only: out[perm[d]] = est[d]
+	bufs   sync.Pool // 2D only: *[]float64 linearized estimate buffers
+}
+
+// Plan implements Algorithm. The hierarchy, the canonical workload weights
+// (one counting walk per sweep, cached), the cube-root budget allocation and
+// the 2D linearization all happen here, once per cell.
+func (g *GreedyH) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -58,29 +74,51 @@ func (g *GreedyH) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) 
 	}
 	switch x.K() {
 	case 1:
-		weights := CanonicalLevelWeights(x.N(), b, w)
-		est, err := greedyHEstimate(x.Data, b, weights, m)
+		flat, err := tree.SharedInterval(x.N(), b)
 		if err != nil {
 			return nil, err
 		}
-		return est, m.Err()
+		weights := canonicalLevelWeightsCached(x.N(), b, w)
+		return &greedyHPlan{
+			flat: flat, data: x.Data,
+			budget: levelBudgetFromWeights(eps, flat.Height(), weights),
+		}, nil
 	case 2:
 		ny, nx := x.Dims[0], x.Dims[1]
 		if nx != ny {
 			return nil, fmt.Errorf("greedyh: 2D requires a square grid, got %dx%d", nx, ny)
 		}
-		lin, perm, err := transform.HilbertLinearize(x.Data, nx)
+		lin, perm, err := hilbertLinearizeCached(x.Data, nx)
 		if err != nil {
 			return nil, err
 		}
-		est, err := greedyHEstimate(lin, b, nil, m)
+		flat, err := tree.SharedInterval(len(lin), b)
 		if err != nil {
 			return nil, err
 		}
-		return transform.HilbertDelinearize(est, perm), m.Err()
+		p := &greedyHPlan{
+			flat: flat, data: lin, perm: perm,
+			budget: levelBudgetFromWeights(eps, flat.Height(), nil),
+		}
+		p.bufs.New = func() any { b := make([]float64, len(lin)); return &b }
+		return p, nil
 	default:
 		return nil, fmt.Errorf("greedyh: unsupported dimensionality %d", x.K())
 	}
+}
+
+func (p *greedyHPlan) Execute(m *noise.Meter, out []float64) error {
+	if p.perm == nil {
+		flatTreeEstimate(p.flat, p.data, p.budget, m, out)
+		return m.Err()
+	}
+	buf := p.bufs.Get().(*[]float64)
+	flatTreeEstimate(p.flat, p.data, p.budget, m, *buf)
+	for d, src := range p.perm {
+		out[src] = (*buf)[d]
+	}
+	p.bufs.Put(buf)
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.
@@ -135,37 +173,20 @@ func levelBudgetFromWeights(eps float64, h int, weights []float64) []float64 {
 // nodes the workload's queries use when answered through a b-ary interval
 // tree over [0, n). Level 0 is the root. A nil result (for nil workloads or
 // non-1D workloads) signals the caller to fall back to uniform allocation.
+// The counting walk runs over the shared flattened tree, so no structure is
+// built per call.
 func CanonicalLevelWeights(n, b int, w *workload.Workload) []float64 {
 	if w == nil || len(w.Dims) != 1 || w.Dims[0] != n {
 		return nil
 	}
-	root, err := tree.BuildInterval(n, b)
+	flat, err := tree.SharedInterval(n, b)
 	if err != nil {
 		return nil
 	}
-	h := root.Height()
-	weights := make([]float64, h)
+	weights := make([]float64, flat.Height())
 	for k := 0; k < w.Size(); k++ {
 		lo, hi := w.Range(k)
-		countCanonical(root, 0, lo, hi, weights)
+		flat.AddCanonicalCount(lo, hi, weights)
 	}
 	return weights
-}
-
-// countCanonical walks the interval tree accumulating, per level, the number
-// of maximal nodes fully contained in the inclusive query range [lo, hi].
-// Node spans are cached at build time (tree.Node.Span), so each visited node
-// costs O(1) instead of a recursive descent to its extreme leaves.
-func countCanonical(nd *tree.Node, depth, lo, hi int, weights []float64) {
-	nlo, nhi := nd.Span()
-	if nhi < lo || nlo > hi {
-		return
-	}
-	if lo <= nlo && nhi <= hi {
-		weights[depth]++
-		return
-	}
-	for _, c := range nd.Children {
-		countCanonical(c, depth+1, lo, hi, weights)
-	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/vec"
@@ -39,14 +40,36 @@ func (u *UGrid) SetScaleEstimator(rho float64) { u.ScaleRho = rho }
 
 // Run implements Algorithm.
 func (u *UGrid) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return u.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(u, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: the optional scale estimate composes
 // sequentially with one parallel scope over the disjoint grid cells at the
 // remaining budget.
-func (u *UGrid) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (u *UGrid) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(u, x, w, m)
+}
+
+// ugridPlan: with the scale public (no Rside), the grid layout and every
+// cell's exact total are trial-independent, so a trial is one noise draw and
+// a uniform spread per grid cell. Under Rside the grid size depends on a
+// per-trial noisy scale, so Execute falls back to the full per-trial path.
+type ugridPlan struct {
+	data     []float64
+	nx, ny   int
+	eps      float64 // full budget
+	epsCells float64 // budget for the cell scope
+	c        float64
+	scaleRho float64
+	scale    float64
+
+	// Precomputed layout (scaleRho == 0 only).
+	xb, yb []int
+	totals []float64 // exact per-grid-cell totals in measureGrid's cell order
+}
+
+// Plan implements Algorithm.
+func (u *UGrid) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -57,21 +80,81 @@ func (u *UGrid) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([
 	if c <= 0 {
 		c = 10
 	}
-	epsLeft := eps
-	scale := x.Scale()
-	if u.ScaleRho > 0 {
-		epsScale := eps * u.ScaleRho
-		scale += m.Laplace("scale", 1/epsScale, epsScale)
-		if scale < 1 {
-			scale = 1
-		}
-		epsLeft -= epsScale
-	}
 	ny, nx := x.Dims[0], x.Dims[1]
-	g := gridSize(scale, epsLeft, c, minInt(nx, ny))
-	out := make([]float64, x.N())
-	measureGrid(m, "cells", x.Data, nx, ny, 0, 0, nx, ny, g, g, epsLeft, out)
-	return out, m.Err()
+	p := &ugridPlan{data: x.Data, nx: nx, ny: ny, eps: eps, c: c, scaleRho: u.ScaleRho, scale: x.Scale()}
+	if u.ScaleRho > 0 {
+		return p, nil // layout depends on the per-trial noisy scale
+	}
+	g := gridSize(p.scale, eps, c, minInt(nx, ny))
+	p.epsCells = eps
+	p.xb = gridBounds(nx, g)
+	p.yb = gridBounds(ny, g)
+	p.totals = gridTotals(x.Data, nx, 0, 0, p.xb, p.yb)
+	return p, nil
+}
+
+func (p *ugridPlan) Execute(m *noise.Meter, out []float64) error {
+	if p.totals != nil {
+		spreadNoisyGrid(m, "cells", p.totals, p.xb, p.yb, p.nx, p.epsCells, out)
+		return m.Err()
+	}
+	// Rside fallback: the grid size is a function of this trial's noisy
+	// scale, so the whole layout is per-trial.
+	epsLeft := p.eps
+	epsScale := p.eps * p.scaleRho
+	scale := p.scale + m.Laplace("scale", 1/epsScale, epsScale)
+	if scale < 1 {
+		scale = 1
+	}
+	epsLeft -= epsScale
+	g := gridSize(scale, epsLeft, p.c, minInt(p.nx, p.ny))
+	measureGrid(m, "cells", p.data, p.nx, p.ny, 0, 0, p.nx, p.ny, g, g, epsLeft, out)
+	return m.Err()
+}
+
+// gridTotals computes the exact total of every grid cell defined by the
+// bounds (offset by x0/y0 on the nx-wide grid), iterating cells and summing
+// in exactly measureGrid's order so the values match it bit for bit.
+func gridTotals(data []float64, nx, x0, y0 int, xb, yb []int) []float64 {
+	totals := make([]float64, 0, (len(yb)-1)*(len(xb)-1))
+	for yi := 0; yi+1 < len(yb); yi++ {
+		for xi := 0; xi+1 < len(xb); xi++ {
+			gx0, gx1 := x0+xb[xi], x0+xb[xi+1]
+			gy0, gy1 := y0+yb[yi], y0+yb[yi+1]
+			var total float64
+			for y := gy0; y < gy1; y++ {
+				for x := gx0; x < gx1; x++ {
+					total += data[y*nx+x]
+				}
+			}
+			totals = append(totals, total)
+		}
+	}
+	return totals
+}
+
+// spreadNoisyGrid draws one Laplace count per precomputed grid-cell total (in
+// the same order measureGrid draws) and spreads each clamped estimate
+// uniformly over its cells of out.
+func spreadNoisyGrid(m *noise.Meter, label string, totals []float64, xb, yb []int, nx int, eps float64, out []float64) {
+	idx := 0
+	for yi := 0; yi+1 < len(yb); yi++ {
+		for xi := 0; xi+1 < len(xb); xi++ {
+			gx0, gx1 := xb[xi], xb[xi+1]
+			gy0, gy1 := yb[yi], yb[yi+1]
+			est := totals[idx] + m.LaplacePar(label, 1/eps, eps)
+			idx++
+			if est < 0 {
+				est = 0
+			}
+			per := est / float64((gx1-gx0)*(gy1-gy0))
+			for y := gy0; y < gy1; y++ {
+				for x := gx0; x < gx1; x++ {
+					out[y*nx+x] = per
+				}
+			}
+		}
+	}
 }
 
 // CompositionPlan implements Planner.
@@ -113,15 +196,38 @@ func (a *AGrid) SetScaleEstimator(rho float64) { a.ScaleRho = rho }
 
 // Run implements Algorithm.
 func (a *AGrid) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(a, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: the optional scale estimate composes
 // sequentially; the coarse cells are disjoint (one "level1" scope at
 // rho*epsLeft) and all second-level sub-cells across all coarse cells are
 // likewise disjoint (one "level2" scope at the rest).
-func (a *AGrid) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (a *AGrid) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(a, x, w, m)
+}
+
+// agridPlan caches the coarse layout and its exact cell totals (with public
+// scale); the second-level grids are sized from each trial's noisy level-one
+// counts, so that stage is inherently per-trial and only its buffers are
+// recycled. Under Rside even the coarse layout is per-trial.
+type agridPlan struct {
+	data          []float64
+	nx, ny        int
+	eps           float64
+	c, c2         float64
+	rho, scaleRho float64
+	scale         float64
+
+	// Precomputed coarse layout (scaleRho == 0 only).
+	eps1, eps2 float64
+	xb, yb     []int
+	totals     []float64
+	bufs       sync.Pool // *[]float64 second-level scratch, max coarse cell area
+}
+
+// Plan implements Algorithm.
+func (a *AGrid) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -139,34 +245,73 @@ func (a *AGrid) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([
 	if rho <= 0 || rho >= 1 {
 		rho = 0.5
 	}
-	epsLeft := eps
-	scale := x.Scale()
+	ny, nx := x.Dims[0], x.Dims[1]
+	p := &agridPlan{
+		data: x.Data, nx: nx, ny: ny, eps: eps,
+		c: c, c2: c2, rho: rho, scaleRho: a.ScaleRho, scale: x.Scale(),
+	}
 	if a.ScaleRho > 0 {
-		epsScale := eps * a.ScaleRho
+		return p, nil
+	}
+	p.eps1 = rho * eps
+	p.eps2 = (1 - rho) * eps
+	m1 := int(math.Max(10, math.Sqrt(p.scale*eps/c)/2))
+	m1 = clampInt(m1, 1, minInt(nx, ny))
+	p.xb = gridBounds(nx, m1)
+	p.yb = gridBounds(ny, m1)
+	p.totals = gridTotals(x.Data, nx, 0, 0, p.xb, p.yb)
+	maxArea := 0
+	for yi := 0; yi+1 < len(p.yb); yi++ {
+		for xi := 0; xi+1 < len(p.xb); xi++ {
+			if area := (p.xb[xi+1] - p.xb[xi]) * (p.yb[yi+1] - p.yb[yi]); area > maxArea {
+				maxArea = area
+			}
+		}
+	}
+	p.bufs.New = func() any { b := make([]float64, maxArea); return &b }
+	return p, nil
+}
+
+func (p *agridPlan) Execute(m *noise.Meter, out []float64) error {
+	epsLeft, scale := p.eps, p.scale
+	eps1, eps2 := p.eps1, p.eps2
+	xb, yb, totals := p.xb, p.yb, p.totals
+	if p.scaleRho > 0 {
+		// Rside fallback: the coarse layout follows this trial's noisy scale.
+		epsScale := p.eps * p.scaleRho
 		scale += m.Laplace("scale", 1/epsScale, epsScale)
 		if scale < 1 {
 			scale = 1
 		}
 		epsLeft -= epsScale
+		eps1 = p.rho * epsLeft
+		eps2 = (1 - p.rho) * epsLeft
+		m1 := int(math.Max(10, math.Sqrt(scale*epsLeft/p.c)/2))
+		m1 = clampInt(m1, 1, minInt(p.nx, p.ny))
+		xb = gridBounds(p.nx, m1)
+		yb = gridBounds(p.ny, m1)
+		totals = nil
 	}
-	eps1 := rho * epsLeft
-	eps2 := (1 - rho) * epsLeft
-	ny, nx := x.Dims[0], x.Dims[1]
-
-	m1 := int(math.Max(10, math.Sqrt(scale*epsLeft/c)/2))
-	m1 = clampInt(m1, 1, minInt(nx, ny))
-
-	out := make([]float64, x.N())
-	xBounds := gridBounds(nx, m1)
-	yBounds := gridBounds(ny, m1)
-	for yi := 0; yi+1 < len(yBounds); yi++ {
-		for xi := 0; xi+1 < len(xBounds); xi++ {
-			x0, x1 := xBounds[xi], xBounds[xi+1]
-			y0, y1 := yBounds[yi], yBounds[yi+1]
+	var sub []float64
+	if p.totals != nil {
+		buf := p.bufs.Get().(*[]float64)
+		defer p.bufs.Put(buf)
+		sub = *buf
+	}
+	idx := 0
+	for yi := 0; yi+1 < len(yb); yi++ {
+		for xi := 0; xi+1 < len(xb); xi++ {
+			x0, x1 := xb[xi], xb[xi+1]
+			y0, y1 := yb[yi], yb[yi+1]
 			var trueTotal float64
-			for y := y0; y < y1; y++ {
-				for xc := x0; xc < x1; xc++ {
-					trueTotal += x.Data[y*nx+xc]
+			if totals != nil {
+				trueTotal = totals[idx]
+				idx++
+			} else {
+				for y := y0; y < y1; y++ {
+					for xc := x0; xc < x1; xc++ {
+						trueTotal += p.data[y*p.nx+xc]
+					}
 				}
 			}
 			level1 := trueTotal + m.LaplacePar("level1", 1/eps1, eps1)
@@ -174,32 +319,38 @@ func (a *AGrid) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([
 				level1 = 0
 			}
 			// Second-level grid sized from the noisy count.
-			m2 := int(math.Sqrt(level1 * eps2 / c2))
+			m2 := int(math.Sqrt(level1 * eps2 / p.c2))
 			m2 = clampInt(m2, 1, minInt(x1-x0, y1-y0))
-			sub := make([]float64, (x1-x0)*(y1-y0))
-			measureRegion(m, "level2", x.Data, nx, x0, y0, x1, y1, m2, m2, eps2, sub)
+			area := (x1 - x0) * (y1 - y0)
+			var region []float64
+			if sub != nil {
+				region = sub[:area]
+			} else {
+				region = make([]float64, area)
+			}
+			measureRegion(m, "level2", p.data, p.nx, x0, y0, x1, y1, m2, m2, eps2, region)
 			// Consistency: rescale the level-2 cells to match level 1.
 			var subTotal float64
-			for _, v := range sub {
+			for _, v := range region {
 				subTotal += v
 			}
 			if subTotal > 0 && level1 > 0 {
 				adj := level1 / subTotal
-				for i := range sub {
-					sub[i] *= adj
+				for i := range region {
+					region[i] *= adj
 				}
 			} else if subTotal == 0 && level1 > 0 {
-				per := level1 / float64(len(sub))
-				for i := range sub {
-					sub[i] = per
+				per := level1 / float64(len(region))
+				for i := range region {
+					region[i] = per
 				}
 			}
 			for y := y0; y < y1; y++ {
-				copy(out[y*nx+x0:y*nx+x1], sub[(y-y0)*(x1-x0):(y-y0+1)*(x1-x0)])
+				copy(out[y*p.nx+x0:y*p.nx+x1], region[(y-y0)*(x1-x0):(y-y0+1)*(x1-x0)])
 			}
 		}
 	}
-	return out, m.Err()
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.

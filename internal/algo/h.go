@@ -33,14 +33,32 @@ func (h *H) DataDependent() bool { return false }
 
 // Run implements Algorithm.
 func (h *H) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return h.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(h, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: every level of the hierarchy is a parallel
 // scope (its nodes partition the domain), and the uniform per-level budgets
 // sum to eps.
-func (h *H) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (h *H) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(h, x, w, m)
+}
+
+// treePlan is the shared plan of every fixed-structure hierarchical
+// mechanism (H, Hb, QuadTree): a cached flat tree plus a per-level budget; a
+// trial is sums + noise draws + inference through pooled scratch.
+type treePlan struct {
+	flat   *tree.Flat
+	data   []float64
+	budget []float64
+}
+
+func (p *treePlan) Execute(m *noise.Meter, out []float64) error {
+	flatTreeEstimate(p.flat, p.data, p.budget, m, out)
+	return m.Err()
+}
+
+// Plan implements Algorithm.
+func (h *H) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -51,13 +69,11 @@ func (h *H) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]flo
 	if b < 2 {
 		b = 2
 	}
-	root, err := tree.BuildInterval(x.N(), b)
+	flat, err := tree.SharedInterval(x.N(), b)
 	if err != nil {
 		return nil, err
 	}
-	height := root.Height()
-	root.Measure(m, x.Data, tree.UniformLevelBudget(eps, height))
-	return root.Infer(x.N()), m.Err()
+	return &treePlan{flat: flat, data: x.Data, budget: tree.UniformLevelBudget(eps, flat.Height())}, nil
 }
 
 // CompositionPlan implements Planner.
@@ -84,43 +100,42 @@ func (Hb) DataDependent() bool { return false }
 
 // Run implements Algorithm.
 func (h Hb) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return h.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(h, x, w, eps, rng)
 }
 
 // RunMeter implements Metered; the budget structure is H's (uniform
 // per-level parallel scopes summing to eps) at the variance-optimal
 // branching factor.
-func (Hb) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (h Hb) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(h, x, w, m)
+}
+
+// Plan implements Algorithm: the branching-factor search and the hierarchy
+// are both cached — Hb's whole structural cost is paid once per shape.
+func (Hb) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
+	var flat *tree.Flat
+	var err error
 	switch x.K() {
 	case 1:
 		n := x.N()
-		b := OptimalBranching(n, 1)
-		root, err := tree.BuildInterval(n, b)
-		if err != nil {
-			return nil, err
-		}
-		root.Measure(m, x.Data, tree.UniformLevelBudget(eps, root.Height()))
-		return root.Infer(n), m.Err()
+		flat, err = tree.SharedInterval(n, optimalBranchingCached(n, 1))
 	case 2:
 		ny, nx := x.Dims[0], x.Dims[1]
 		side := nx
 		if ny > side {
 			side = ny
 		}
-		b := OptimalBranching(side, 2)
-		root, err := tree.BuildGrid(nx, ny, b)
-		if err != nil {
-			return nil, err
-		}
-		root.Measure(m, x.Data, tree.UniformLevelBudget(eps, root.Height()))
-		return root.Infer(x.N()), m.Err()
+		flat, err = tree.SharedGrid(nx, ny, optimalBranchingCached(side, 2))
 	default:
 		return nil, fmt.Errorf("hb: unsupported dimensionality %d", x.K())
 	}
+	if err != nil {
+		return nil, err
+	}
+	return &treePlan{flat: flat, data: x.Data, budget: tree.UniformLevelBudget(eps, flat.Height())}, nil
 }
 
 // CompositionPlan implements Planner.

@@ -26,18 +26,33 @@ func (Identity) DataDependent() bool { return false }
 
 // Run implements Algorithm.
 func (a Identity) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(a, x, w, eps, rng)
 }
 
 // RunMeter implements Metered. The histogram is one vector-valued query with
 // L1 sensitivity 1, so the full budget is a single sequential spend.
-func (Identity) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (a Identity) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(a, x, w, m)
+}
+
+// identityPlan needs nothing beyond the data reference: a trial is one
+// vector-noise pass straight into the output buffer.
+type identityPlan struct {
+	data []float64
+	eps  float64
+}
+
+// Plan implements Algorithm.
+func (Identity) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
-	out := m.LaplaceMechanism("cells", x.Data, 1, eps)
-	return out, m.Err()
+	return &identityPlan{data: x.Data, eps: eps}, nil
+}
+
+func (p *identityPlan) Execute(m *noise.Meter, out []float64) error {
+	m.LaplaceMechanismInto("cells", out, p.data, 1, p.eps)
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.
@@ -64,23 +79,37 @@ func (Uniform) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (a Uniform) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return a.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(a, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: one scale query (sensitivity 1) at full
 // budget.
-func (Uniform) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (a Uniform) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(a, x, w, m)
+}
+
+// uniformPlan amortizes the only data access Uniform performs — the exact
+// scale — so a trial is one noise draw and a spread.
+type uniformPlan struct {
+	scale float64
+	eps   float64
+}
+
+// Plan implements Algorithm.
+func (Uniform) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
-	total := x.Scale() + m.Laplace("total", 1/eps, eps)
+	return &uniformPlan{scale: x.Scale(), eps: eps}, nil
+}
+
+func (p *uniformPlan) Execute(m *noise.Meter, out []float64) error {
+	total := p.scale + m.Laplace("total", 1/p.eps, p.eps)
 	if total < 0 {
 		total = 0
 	}
-	out := make([]float64, x.N())
 	uniformSpread(out, 0, len(out), total)
-	return out, m.Err()
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.

@@ -3,6 +3,7 @@ package algo
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/vec"
@@ -115,6 +116,12 @@ type mwemState struct {
 	expBuf []float64 // exponential-mechanism weight scratch
 	chosen []bool    // queries already selected (reusable, replaces a map)
 	hist   []measurement
+
+	// seg holds the raw weights for 1D workloads, turning each history
+	// replay step from O(range) into O(log n); est then only materializes
+	// for the per-round selection. Nil for 2D (rectangles don't map to one
+	// segment-tree range). See mulSegTree for the numerical contract.
+	seg *mulSegTree
 }
 
 func newMWEMState(w *workload.Workload, n, rounds int, scale float64) *mwemState {
@@ -123,22 +130,49 @@ func newMWEMState(w *workload.Workload, n, rounds int, scale float64) *mwemState
 		w:      w,
 		ev:     workload.NewEvaluator(w),
 		est:    make([]float64, n),
-		norm:   1,
-		scale:  scale,
 		estAns: make([]float64, q),
 		scores: make([]float64, q),
 		expBuf: make([]float64, q),
 		chosen: make([]bool, q),
 		hist:   make([]measurement, 0, rounds),
 	}
-	uniformSpread(st.est, 0, n, scale)
-	st.total = scale // uniform initialization sums to scale by construction
+	if len(w.Dims) == 1 {
+		st.seg = newMulSegTree(n)
+	}
+	st.reset(scale)
 	return st
 }
 
+// reset re-initializes a (possibly recycled) state for a fresh trial at the
+// given scale: uniform estimate, no deferred scalar, empty history.
+func (st *mwemState) reset(scale float64) {
+	uniformSpread(st.est, 0, len(st.est), scale)
+	if st.seg != nil {
+		st.seg.fill(scale / float64(len(st.est)))
+	}
+	st.norm = 1
+	st.scale = scale
+	st.total = scale // uniform initialization sums to scale by construction
+	for i := range st.chosen {
+		st.chosen[i] = false
+	}
+	st.hist = st.hist[:0]
+}
+
 // materialize applies the deferred scalar to every cell and recomputes the
-// raw total exactly, resetting the incremental drift of total.
+// raw total exactly, resetting the incremental drift of total. In 1D the
+// weights live in the segment tree, so the scalar is folded in as one
+// root-range multiply and the leaves are flattened into est.
 func (st *mwemState) materialize() {
+	if st.seg != nil {
+		if st.norm != 1 {
+			st.seg.MulRange(0, len(st.est), st.norm)
+			st.norm = 1
+			st.total = st.seg.Total()
+		}
+		st.seg.MaterializeInto(st.est)
+		return
+	}
 	if st.norm != 1 {
 		var total float64
 		for i, v := range st.est {
@@ -158,7 +192,13 @@ func (st *mwemState) materialize() {
 // O(n) materialization pass is needed. The prefix table's final entry is the
 // exact raw total, which resets the incremental drift of total each round.
 func (st *mwemState) selectQuery(trueAns []float64, epsSelect float64, m *noise.Meter) int {
-	st.ev.Reset(st.est)
+	if st.seg != nil {
+		// Stream the tree's leaves straight into the evaluator's prefix
+		// table — the same accumulation Reset performs, minus one pass.
+		st.seg.PrefixTableInto(st.ev.Table1D())
+	} else {
+		st.ev.Reset(st.est)
+	}
 	st.total = st.ev.Total()
 	if st.total > 0 {
 		st.norm = st.scale / st.total
@@ -186,8 +226,33 @@ func (st *mwemState) replay() {
 
 // update applies one history entry: a multiplicative-weights step on the
 // cells the query covers, followed by renormalization to the scale, which is
-// folded into the deferred scalar instead of touching all n cells.
+// folded into the deferred scalar instead of touching all n cells. In 1D the
+// range sum and the multiplicative step run on the segment tree in O(log n).
 func (st *mwemState) update(h measurement) {
+	if st.seg != nil {
+		lo, hi := st.w.Range(h.query)
+		rs := st.seg.CollectRange(lo, hi+1)
+		cur := rs * st.norm
+		factor := (h.value - cur) / (2 * st.scale)
+		if factor > 30 {
+			factor = 30
+		} else if factor < -30 {
+			factor = -30
+		}
+		st.seg.ApplyCollected(math.Exp(factor))
+		// Renormalize to the (noisy or public) scale via the deferred
+		// scalar; the tree's root is the exact current raw total.
+		st.total = st.seg.Total()
+		if st.total > 0 {
+			st.norm = st.scale / st.total
+		}
+		// Guard against raw-weight overflow/underflow when many large
+		// multiplicative steps accumulate before the scalar is applied.
+		if st.total > 1e280 || (st.total > 0 && st.total < 1e-280) {
+			st.materialize()
+		}
+		return
+	}
 	est := st.est
 	var rs float64 // raw sum of the query's range
 	var lo0, hi0 int
@@ -245,30 +310,62 @@ func (st *mwemState) update(h measurement) {
 
 // Run implements Algorithm.
 func (m *MWEM) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return m.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(m, x, w, eps, rng)
 }
 
 // RunMeter implements Metered. The budget is epsScale for the optional
 // private scale estimate plus, per round, half the round budget on selection
 // and half on measurement — all sequential spends summing to eps.
 func (m *MWEM) RunMeter(x *vec.Vector, w *workload.Workload, mt *noise.Meter) ([]float64, error) {
-	eps := mt.Total()
+	return runPlanMeter(m, x, w, mt)
+}
+
+// mwemPlan hoists the true workload answers (the only data summary every
+// round reads) and recycles the whole multiplicative-weights state across
+// trials; the rounds themselves are per-trial noise, as the mechanism
+// demands.
+type mwemPlan struct {
+	m       *MWEM
+	w       *workload.Workload
+	trueAns []float64
+	n       int
+	eps     float64
+	scale   float64
+	rounds  int // resolved at plan time when the scale is public
+	sweeps  int
+	states  sync.Pool // *mwemState
+}
+
+// Plan implements Algorithm.
+func (m *MWEM) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
 	if w == nil || w.Size() == 0 {
 		w = workload.Prefix(x.N())
 	}
-	epsLeft := eps
-	scale := x.Scale()
-	if m.ScaleRho > 0 {
-		epsScale := eps * m.ScaleRho
-		scale += mt.Laplace("scale", 1/epsScale, epsScale)
-		if scale < 1 {
-			scale = 1
-		}
-		epsLeft -= epsScale
+	sweeps := m.UpdateSweeps
+	if sweeps < 1 {
+		sweeps = 1
 	}
+	trueAns, err := w.Evaluate(x)
+	if err != nil {
+		return nil, err
+	}
+	p := &mwemPlan{
+		m: m, w: w, trueAns: trueAns, n: x.N(),
+		eps: eps, scale: x.Scale(), sweeps: sweeps,
+	}
+	if m.ScaleRho <= 0 {
+		p.rounds = m.resolveRounds(eps, p.scale, w)
+	}
+	p.states.New = func() any { return newMWEMState(w, p.n, maxInt(p.rounds, 8), p.scale) }
+	return p, nil
+}
+
+// resolveRounds applies the static T or the trained profile, clamped to the
+// workload size.
+func (m *MWEM) resolveRounds(eps, scale float64, w *workload.Workload) int {
 	rounds := m.T
 	if rounds <= 0 {
 		prof := m.TFromSignal
@@ -283,33 +380,44 @@ func (m *MWEM) RunMeter(x *vec.Vector, w *workload.Workload, mt *noise.Meter) ([
 	if rounds > w.Size() {
 		rounds = w.Size()
 	}
-	sweeps := m.UpdateSweeps
-	if sweeps < 1 {
-		sweeps = 1
+	return rounds
+}
+
+func (p *mwemPlan) Execute(mt *noise.Meter, out []float64) error {
+	epsLeft, scale, rounds := p.eps, p.scale, p.rounds
+	if p.m.ScaleRho > 0 {
+		// Rside: the scale estimate (and therefore the round count) is this
+		// trial's first noise draw.
+		epsScale := p.eps * p.m.ScaleRho
+		scale += mt.Laplace("scale", 1/epsScale, epsScale)
+		if scale < 1 {
+			scale = 1
+		}
+		epsLeft -= epsScale
+		rounds = p.m.resolveRounds(p.eps, scale, p.w)
 	}
 
-	trueAns, err := w.Evaluate(x)
-	if err != nil {
-		return nil, err
-	}
-	st := newMWEMState(w, x.N(), rounds, scale)
+	st := p.states.Get().(*mwemState)
+	defer p.states.Put(st)
+	st.reset(scale)
 	epsRound := epsLeft / float64(rounds)
 
 	for t := 0; t < rounds; t++ {
 		// Select the worst-approximated query with half the round budget.
-		q := st.selectQuery(trueAns, epsRound/2, mt)
+		q := st.selectQuery(p.trueAns, epsRound/2, mt)
 		// Measure it with the other half (noise scale 2/epsRound is
 		// sensitivity 1 over a spend of epsRound/2).
-		meas := trueAns[q] + mt.Laplace("measure", 2/epsRound, epsRound/2)
+		meas := p.trueAns[q] + mt.Laplace("measure", 2/epsRound, epsRound/2)
 		st.hist = append(st.hist, measurement{q, meas})
 
 		// Multiplicative weights over the history.
-		for s := 0; s < sweeps; s++ {
+		for s := 0; s < p.sweeps; s++ {
 			st.replay()
 		}
 	}
 	st.materialize()
-	return st.est, mt.Err()
+	copy(out, st.est)
+	return mt.Err()
 }
 
 // CompositionPlan implements Planner.

@@ -3,6 +3,7 @@ package algo
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/vec"
@@ -34,14 +35,40 @@ func (p *PHP) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (p *PHP) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return p.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(p, x, w, eps, rng)
 }
 
 // RunMeter implements Metered. Each bisection round touches disjoint
 // intervals, so its selections form one parallel scope of eps1/maxIter;
 // the final bucket counts are likewise disjoint and share eps2.
-func (p *PHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (p *PHP) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(p, x, w, m)
+}
+
+// phpInterval is one partition interval [lo, hi).
+type phpInterval struct{ lo, hi int }
+
+// phpScratch recycles one trial's interval worklists, split scores and
+// exponential-mechanism weights.
+type phpScratch struct {
+	parts, next    []phpInterval
+	scores, expBuf []float64
+}
+
+// phpPlan hoists the prefix sums (the only data summary the bisection
+// scores need); the partition itself is re-selected from fresh noise every
+// trial.
+type phpPlan struct {
+	prefix     []float64
+	n          int
+	eps1, eps2 float64
+	maxIter    int
+	epsPerIter float64
+	bufs       sync.Pool // *phpScratch
+}
+
+// Plan implements Algorithm.
+func (p *PHP) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -54,19 +81,25 @@ func (p *PHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]f
 	}
 	n := x.N()
 	eps1 := rho * eps
-	eps2 := (1 - rho) * eps
 	maxIter := log2Ceil(n)
 	if maxIter < 1 {
 		maxIter = 1
 	}
-	epsPerIter := eps1 / float64(maxIter)
-
-	// Prefix sums for O(1) interval totals.
-	prefix := make([]float64, n+1)
-	for i, v := range x.Data {
-		prefix[i+1] = prefix[i] + v
+	pl := &phpPlan{
+		prefix: prefixSums(x.Data), n: n,
+		eps1: eps1, eps2: (1 - rho) * eps,
+		maxIter: maxIter, epsPerIter: eps1 / float64(maxIter),
 	}
-	sum := func(lo, hi int) float64 { return prefix[hi] - prefix[lo] } // [lo,hi)
+	pl.bufs.New = func() any {
+		return &phpScratch{scores: make([]float64, n), expBuf: make([]float64, n)}
+	}
+	return pl, nil
+}
+
+func (p *phpPlan) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*phpScratch)
+	defer p.bufs.Put(sc)
+	sum := func(lo, hi int) float64 { return p.prefix[hi] - p.prefix[lo] } // [lo,hi)
 
 	// Each iteration bisects every interval still worth splitting. The
 	// score of split point m for interval [lo,hi) is the drop in uniformity
@@ -74,10 +107,10 @@ func (p *PHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]f
 	// |total - width*avg_outside|; following Acs et al. we use the absolute
 	// difference between the two halves' totals normalized by width, whose
 	// per-record sensitivity is at most 1.
-	type interval struct{ lo, hi int }
-	parts := []interval{{0, n}}
-	for iter := 0; iter < maxIter; iter++ {
-		var next []interval
+	parts := append(sc.parts[:0], phpInterval{0, p.n})
+	next := sc.next[:0]
+	for iter := 0; iter < p.maxIter; iter++ {
+		next = next[:0]
 		label := idxLabel(splitLabels, iter)
 		split := false
 		for _, iv := range parts {
@@ -85,7 +118,7 @@ func (p *PHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]f
 				next = append(next, iv)
 				continue
 			}
-			scores := make([]float64, 0, iv.hi-iv.lo-1)
+			scores := sc.scores[:0]
 			for mid := iv.lo + 1; mid < iv.hi; mid++ {
 				left := sum(iv.lo, mid)
 				right := sum(mid, iv.hi)
@@ -94,29 +127,29 @@ func (p *PHP) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]f
 				// regions of different density.
 				scores = append(scores, abs(left/wl-right/wr)*minf(wl, wr))
 			}
-			pick := m.ExpMechPar(label, scores, 1, epsPerIter)
+			pick := m.ExpMechBufPar(label, scores, 1, p.epsPerIter, sc.expBuf[:len(scores)])
 			split = true
 			mid := iv.lo + 1 + pick
-			next = append(next, interval{iv.lo, mid}, interval{mid, iv.hi})
+			next = append(next, phpInterval{iv.lo, mid}, phpInterval{mid, iv.hi})
 		}
 		if !split {
 			// Every interval was already a singleton (only possible on a
 			// fully refined partition): the round's allocation buys nothing,
 			// so charge it explicitly to keep the ledger at eps.
-			m.ChargePar(label, epsPerIter)
+			m.ChargePar(label, p.epsPerIter)
 		}
-		parts = next
+		parts, next = next, parts
 	}
+	sc.parts, sc.next = parts, next
 
-	out := make([]float64, n)
 	for _, iv := range parts {
-		est := sum(iv.lo, iv.hi) + m.LaplacePar("counts", 1/eps2, eps2)
+		est := sum(iv.lo, iv.hi) + m.LaplacePar("counts", 1/p.eps2, p.eps2)
 		if est < 0 {
 			est = 0
 		}
 		uniformSpread(out, iv.lo, iv.hi, est)
 	}
-	return out, m.Err()
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.

@@ -3,6 +3,7 @@ package algo
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/transform"
@@ -39,7 +40,7 @@ func (Privelet) DataDependent() bool { return false }
 
 // Run implements Algorithm.
 func (p Privelet) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return p.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(p, x, w, eps, rng)
 }
 
 // RunMeter implements Metered. The full wavelet coefficient vector is one
@@ -47,25 +48,8 @@ func (p Privelet) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *ran
 // comment), so its per-coefficient draws jointly cost eps: the 1D path
 // charges it once for the whole vector, the 2D path charges its interleaved
 // per-cell draws under one "coeffs" scope.
-func (Privelet) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
-	if err := validate(x, eps); err != nil {
-		return nil, err
-	}
-	var out []float64
-	var err error
-	switch x.K() {
-	case 1:
-		out, err = priveletRun1D(x.Data, eps, m)
-	case 2:
-		out, err = priveletRun2D(x.Data, x.Dims[1], x.Dims[0], eps, m)
-	default:
-		return nil, fmt.Errorf("privelet: unsupported dimensionality %d", x.K())
-	}
-	if err != nil {
-		return nil, err
-	}
-	return out, m.Err()
+func (p Privelet) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(p, x, w, m)
 }
 
 // CompositionPlan implements Planner. "coeffs" appears under both kinds
@@ -79,22 +63,73 @@ func (Privelet) CompositionPlan() noise.Plan {
 	}
 }
 
-func priveletRun1D(data []float64, eps float64, m *noise.Meter) ([]float64, error) {
-	c, err := transform.HaarForward(padPow2(data))
-	if err != nil {
+// Plan implements Algorithm: the forward wavelet transform of the data is
+// trial-independent, so it runs once here; a trial is noise on the cached
+// coefficients plus the inverse transform through pooled buffers.
+func (Privelet) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
+	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
-	noisy := m.LaplaceVec("coeffs", c, 1/eps, eps)
-	rec, err := transform.HaarInverse(noisy)
-	if err != nil {
-		return nil, err
+	switch x.K() {
+	case 1:
+		c, err := transform.HaarForward(padPow2(x.Data))
+		if err != nil {
+			return nil, err
+		}
+		p := &priveletPlan1D{coeffs: c, n: x.N(), eps: eps}
+		p.bufs.New = func() any {
+			return &haarScratch{a: make([]float64, len(c)), b: make([]float64, len(c)), noisy: make([]float64, len(c))}
+		}
+		return p, nil
+	case 2:
+		grid, err := priveletForward2D(x.Data, x.Dims[1], x.Dims[0])
+		if err != nil {
+			return nil, err
+		}
+		px := len(grid[0])
+		py := len(grid)
+		p := &priveletPlan2D{coeffs: grid, nx: x.Dims[1], ny: x.Dims[0], px: px, py: py, eps: eps}
+		p.bufs.New = func() any {
+			return &haar2DScratch{
+				grid: make([]float64, px*py),
+				col:  make([]float64, py), colOut: make([]float64, py), colTmp: make([]float64, py),
+				row: make([]float64, px), rowTmp: make([]float64, px),
+			}
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("privelet: unsupported dimensionality %d", x.K())
 	}
-	return rec[:len(data)], nil
 }
 
-func priveletRun2D(data []float64, nx, ny int, eps float64, m *noise.Meter) ([]float64, error) {
+// haarScratch is one 1D trial's buffers: the noisy coefficients and the
+// inverse transform's ping-pong pair.
+type haarScratch struct{ a, b, noisy []float64 }
+
+type priveletPlan1D struct {
+	coeffs []float64 // forward transform of the (padded) data
+	n      int
+	eps    float64
+	bufs   sync.Pool // *haarScratch
+}
+
+func (p *priveletPlan1D) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*haarScratch)
+	defer p.bufs.Put(sc)
+	noisy := m.LaplaceVecInto("coeffs", sc.noisy, p.coeffs, 1/p.eps, p.eps)
+	if err := transform.HaarInverseInto(sc.a, sc.b, noisy); err != nil {
+		return err
+	}
+	copy(out, sc.a[:p.n])
+	return m.Err()
+}
+
+// priveletForward2D applies the separable forward transform (rows then
+// columns) to the zero-padded grid, returning the fully transformed
+// coefficient grid. It is exactly the deterministic prefix of the seed
+// implementation's per-trial work.
+func priveletForward2D(data []float64, nx, ny int) ([][]float64, error) {
 	px, py := nextPow2(nx), nextPow2(ny)
-	// Forward transform rows then columns on the padded grid.
 	grid := make([][]float64, py)
 	for y := 0; y < py; y++ {
 		row := make([]float64, px)
@@ -117,32 +152,56 @@ func priveletRun2D(data []float64, nx, ny int, eps float64, m *noise.Meter) ([]f
 			return nil, err
 		}
 		for y := 0; y < py; y++ {
-			grid[y][xcol] = c[y] + m.LaplacePar("coeffs", 1/eps, eps)
+			grid[y][xcol] = c[y]
+		}
+	}
+	return grid, nil
+}
+
+// haar2DScratch is one 2D trial's buffers: the noisy coefficient grid and
+// the per-column/per-row inverse transform scratch.
+type haar2DScratch struct {
+	grid                []float64 // px*py noisy coefficients, row-major
+	col, colOut, colTmp []float64
+	row, rowTmp         []float64
+}
+
+type priveletPlan2D struct {
+	coeffs         [][]float64
+	nx, ny, px, py int
+	eps            float64
+	bufs           sync.Pool // *haar2DScratch
+}
+
+func (p *priveletPlan2D) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*haar2DScratch)
+	defer p.bufs.Put(sc)
+	// Noise draws walk the grid column-major, matching the seed
+	// implementation's interleaved draw order exactly.
+	for xcol := 0; xcol < p.px; xcol++ {
+		for y := 0; y < p.py; y++ {
+			sc.grid[y*p.px+xcol] = p.coeffs[y][xcol] + m.LaplacePar("coeffs", 1/p.eps, p.eps)
 		}
 	}
 	// Invert columns then rows.
-	for xcol := 0; xcol < px; xcol++ {
-		col := make([]float64, py)
-		for y := 0; y < py; y++ {
-			col[y] = grid[y][xcol]
+	for xcol := 0; xcol < p.px; xcol++ {
+		for y := 0; y < p.py; y++ {
+			sc.col[y] = sc.grid[y*p.px+xcol]
 		}
-		r, err := transform.HaarInverse(col)
-		if err != nil {
-			return nil, err
+		if err := transform.HaarInverseInto(sc.colOut, sc.colTmp, sc.col); err != nil {
+			return err
 		}
-		for y := 0; y < py; y++ {
-			grid[y][xcol] = r[y]
+		for y := 0; y < p.py; y++ {
+			sc.grid[y*p.px+xcol] = sc.colOut[y]
 		}
 	}
-	out := make([]float64, nx*ny)
-	for y := 0; y < ny; y++ {
-		r, err := transform.HaarInverse(grid[y])
-		if err != nil {
-			return nil, err
+	for y := 0; y < p.ny; y++ {
+		if err := transform.HaarInverseInto(sc.row, sc.rowTmp, sc.grid[y*p.px:(y+1)*p.px]); err != nil {
+			return err
 		}
-		copy(out[y*nx:(y+1)*nx], r[:nx])
+		copy(out[y*p.nx:(y+1)*p.nx], sc.row[:p.nx])
 	}
-	return out, nil
+	return m.Err()
 }
 
 // padPow2 zero-pads a slice to the next power-of-two length (no copy when

@@ -35,13 +35,18 @@ func (q *QuadTree) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (q *QuadTree) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return q.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(q, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: geometric per-level budgets summing to eps,
 // each level a parallel scope over its disjoint nodes.
-func (q *QuadTree) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (q *QuadTree) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(q, x, w, m)
+}
+
+// Plan implements Algorithm: the quadtree layout is fixed per (grid, height),
+// so the plan is a cached flat tree with the geometric budget.
+func (q *QuadTree) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -52,12 +57,11 @@ func (q *QuadTree) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter)
 	if h < 1 {
 		h = 10
 	}
-	root, err := tree.BuildQuad(x.Dims[1], x.Dims[0], h)
+	flat, err := tree.SharedQuad(x.Dims[1], x.Dims[0], h)
 	if err != nil {
 		return nil, err
 	}
-	root.Measure(m, x.Data, tree.GeometricLevelBudget(eps, root.Height()))
-	return root.Infer(x.N()), m.Err()
+	return &treePlan{flat: flat, data: x.Data, budget: tree.GeometricLevelBudget(eps, flat.Height())}, nil
 }
 
 // CompositionPlan implements Planner.
@@ -96,15 +100,31 @@ func (t *HybridTree) DataDependent() bool { return true }
 
 // Run implements Algorithm.
 func (t *HybridTree) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return t.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(t, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: each kd level's marginals run over disjoint
 // regions (one parallel scope of epsStruct/kd per level, labels "kd<d>"),
 // then the fixed-structure counts follow QuadTree's geometric per-level
 // scopes at the remaining budget.
-func (t *HybridTree) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (t *HybridTree) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(t, x, w, m)
+}
+
+// hybridPlan carries the resolved parameters; the kd structure itself is
+// selected from fresh noise inside every Execute, as the mechanism requires.
+type hybridPlan struct {
+	t                  *HybridTree
+	data               []float64
+	nx, ny             int
+	kd, h              int
+	perLevel, epsCount float64
+}
+
+// Plan implements Algorithm. HybridTree's upper levels are data-dependent
+// (noisy-median splits), so only the parameter resolution and budget split
+// are hoisted; each trial builds and measures its own tree.
+func (t *HybridTree) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -123,7 +143,6 @@ func (t *HybridTree) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Mete
 	if rho <= 0 || rho >= 1 {
 		rho = 0.1
 	}
-	nx, ny := x.Dims[1], x.Dims[0]
 	epsStruct := rho * eps
 	epsCount := (1 - rho) * eps
 	if kd == 0 {
@@ -132,16 +151,22 @@ func (t *HybridTree) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Mete
 		// the whole budget to the counts instead.
 		epsStruct, epsCount = 0, eps
 	}
+	return &hybridPlan{
+		t: t, data: x.Data, nx: x.Dims[1], ny: x.Dims[0], kd: kd, h: h,
+		perLevel: epsStruct / float64(maxInt(kd, 1)), epsCount: epsCount,
+	}, nil
+}
 
+func (p *hybridPlan) Execute(m *noise.Meter, out []float64) error {
 	// Noisy marginals drive the kd splits; each level of splits touches
 	// disjoint regions so the levels share epsStruct evenly.
-	perLevel := epsStruct / float64(maxInt(kd, 1))
-	root := t.buildKD(x.Data, nx, tree.Rect{X0: 0, Y0: 0, X1: nx, Y1: ny}, kd, kd, h, perLevel, m)
+	root := p.t.buildKD(p.data, p.nx, tree.Rect{X0: 0, Y0: 0, X1: p.nx, Y1: p.ny}, p.kd, p.kd, p.h, p.perLevel, m)
 	if err := root.Finalize(); err != nil {
-		return nil, err
+		return err
 	}
-	root.Measure(m, x.Data, tree.GeometricLevelBudget(epsCount, root.Height()))
-	return root.Infer(x.N()), m.Err()
+	root.Measure(m, p.data, tree.GeometricLevelBudget(p.epsCount, root.Height()))
+	root.InferInto(out)
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.

@@ -3,6 +3,7 @@ package algo
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/noise"
 	"repro/internal/tree"
@@ -55,7 +56,7 @@ func (s *SF) SetScaleEstimator(rho float64) { s.ScaleRho = rho }
 
 // Run implements Algorithm.
 func (s *SF) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
-	return s.RunMeter(x, w, noise.NewMeter(eps, rng))
+	return runPlan(s, x, w, eps, rng)
 }
 
 // RunMeter implements Metered: the optional scale estimate and the k-1
@@ -63,8 +64,42 @@ func (s *SF) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Ran
 // over disjoint buckets, so each bucket (a flat count, or a whole in-bucket
 // hierarchy under the consistency modification) gets the full eps2 and the
 // buckets compose in parallel.
-func (s *SF) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]float64, error) {
-	eps := m.Total()
+func (s *SF) RunMeter(x *vec.Vector, w *workload.Workload, m *noise.Meter) ([]float64, error) {
+	return runPlanMeter(s, x, w, m)
+}
+
+// sfPlan hoists the prefix and squared-prefix tables the boundary scores are
+// built from, plus the resolved parameters. Boundary selection and the
+// in-bucket hierarchies draw fresh noise per trial; bucket widths are
+// near-uniform random (tiny per-boundary selection budgets), so the widths
+// never repeat enough to cache — each trial instead rebuilds its in-bucket
+// hierarchies into a reusable flat-tree arena, which is allocation-free at
+// steady state.
+type sfPlan struct {
+	s          *SF
+	data       []float64
+	prefix, sq []float64
+	n, k       int
+	eps        float64
+	scale      float64
+	eps1, eps2 float64   // resolved at plan time when the scale is public
+	bufs       sync.Pool // *sfScratch
+}
+
+// sfScratch is one trial's selection and measurement state, including the
+// rebuildable flat tree the in-bucket hierarchies are constructed into.
+type sfScratch struct {
+	bounds []int
+	scores []float64
+	expBuf []float64
+	budget []float64
+	sub    noise.Meter
+	ftree  tree.Flat
+	fsc    *tree.Scratch
+}
+
+// Plan implements Algorithm.
+func (s *SF) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err := validate(x, eps); err != nil {
 		return nil, err
 	}
@@ -84,45 +119,76 @@ func (s *SF) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]fl
 	if k < 1 {
 		k = 1
 	}
+	data := x.Data
+	sq := make([]float64, n+1)
+	for i, v := range data {
+		sq[i+1] = sq[i] + v*v
+	}
+	p := &sfPlan{
+		s: s, data: data, prefix: prefixSums(data), sq: sq,
+		n: n, k: k, eps: eps, scale: x.Scale(),
+	}
+	if s.ScaleRho <= 0 {
+		p.eps1, p.eps2 = sfBudgetSplit(rho, eps, k)
+	}
+	p.bufs.New = func() any {
+		return &sfScratch{
+			bounds: make([]int, 0, k+1),
+			scores: make([]float64, n),
+			expBuf: make([]float64, n),
+			budget: make([]float64, 0, 64),
+			fsc:    tree.NewScratch(),
+		}
+	}
+	return p, nil
+}
 
-	epsLeft := eps
+// sfBudgetSplit applies the single-bucket budget fix: with no boundaries to
+// select, the whole (remaining) budget goes to measurement.
+func sfBudgetSplit(rho, epsLeft float64, k int) (eps1, eps2 float64) {
+	if k <= 1 {
+		return 0, epsLeft
+	}
+	return rho * epsLeft, (1 - rho) * epsLeft
+}
+
+func (p *sfPlan) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*sfScratch)
+	defer p.bufs.Put(sc)
+
+	eps1, eps2 := p.eps1, p.eps2
 	// F bounds any bucket count; scale is the trivial bound. Side info
-	// unless ScaleRho directs a private estimate.
-	F := x.Scale()
-	if s.ScaleRho > 0 {
-		epsF := eps * s.ScaleRho
+	// unless ScaleRho directs a private estimate (then F and the stage
+	// budgets depend on this trial's draw).
+	F := p.scale
+	if p.s.ScaleRho > 0 {
+		epsF := p.eps * p.s.ScaleRho
 		F += m.Laplace("scale", 1/epsF, epsF)
 		if F < 1 {
 			F = 1
 		}
-		epsLeft -= epsF
+		rho := p.s.Rho
+		if rho <= 0 || rho >= 1 {
+			rho = 0.5
+		}
+		eps1, eps2 = sfBudgetSplit(rho, p.eps-epsF, p.k)
 	}
 	if F <= 0 {
 		F = 1
 	}
-	eps1 := rho * epsLeft
-	eps2 := (1 - rho) * epsLeft
-	if k <= 1 {
-		// Budget fix: a single bucket has no boundaries to select, so the
-		// structure stage would silently waste rho*epsLeft. Give the whole
-		// remaining budget to the measurement stage instead.
-		eps1, eps2 = 0, epsLeft
-	}
 
-	bounds := s.selectBoundaries(x.Data, k, eps1, F, m)
+	bounds := p.selectBoundaries(sc, eps1, F, m)
 
-	out := make([]float64, n)
-	if !s.Hierarchical {
-		prefix := prefixSums(x.Data)
+	if !p.s.Hierarchical {
 		for b := 0; b+1 < len(bounds); b++ {
 			lo, hi := bounds[b], bounds[b+1]
-			est := prefix[hi] - prefix[lo] + m.LaplacePar("counts", 1/eps2, eps2)
+			est := p.prefix[hi] - p.prefix[lo] + m.LaplacePar("counts", 1/eps2, eps2)
 			if est < 0 {
 				est = 0
 			}
 			uniformSpread(out, lo, hi, est)
 		}
-		return out, m.Err()
+		return m.Err()
 	}
 	// Consistency modification: binary hierarchy within every bucket
 	// (disjoint buckets compose in parallel, so each gets the full eps2).
@@ -132,18 +198,22 @@ func (s *SF) RunMeter(x *vec.Vector, _ *workload.Workload, m *noise.Meter) ([]fl
 	for b := 0; b+1 < len(bounds); b++ {
 		lo, hi := bounds[b], bounds[b+1]
 		width := hi - lo
-		sub := x.Data[lo:hi]
-		root, err := tree.BuildInterval(width, 2)
-		if err != nil {
-			return nil, err
+		if err := sc.ftree.RebuildInterval(width, 2); err != nil {
+			return err
 		}
-		bm := m.SubParEps("bucket", eps2)
-		root.Measure(bm, sub, tree.UniformLevelBudget(eps2, root.Height()))
-		bm.Close()
-		est := root.Infer(width)
-		copy(out[lo:hi], est)
+		h := sc.ftree.Height()
+		budget := sc.budget[:0]
+		for l := 0; l < h; l++ {
+			budget = append(budget, eps2/float64(h))
+		}
+		sc.budget = budget
+		m.ResetSub(&sc.sub, "bucket", eps2, true)
+		sc.ftree.ComputeSums(p.data[lo:hi], sc.fsc)
+		sc.ftree.MeasureInto(&sc.sub, sc.fsc, budget)
+		sc.ftree.InferInto(sc.fsc, out[lo:hi])
+		sc.sub.Close()
 	}
-	return out, m.Err()
+	return m.Err()
 }
 
 // CompositionPlan implements Planner.
@@ -160,25 +230,24 @@ func (s *SF) CompositionPlan() noise.Plan {
 // exponential mechanism. The score of placing the next boundary at position
 // m is the negated sum of squared deviations of the bucket it closes,
 // normalized by F so the per-record sensitivity is bounded by a constant.
-func (s *SF) selectBoundaries(data []float64, k int, eps1, F float64, m *noise.Meter) []int {
-	n := len(data)
-	bounds := []int{0}
+// The prefix tables were built at plan time; the score and weight buffers
+// come from the trial scratch.
+func (p *sfPlan) selectBoundaries(sc *sfScratch, eps1, F float64, m *noise.Meter) []int {
+	n, k := p.n, p.k
+	bounds := append(sc.bounds[:0], 0)
+	defer func() { sc.bounds = bounds }()
 	if k <= 1 {
-		return append(bounds, n)
+		bounds = append(bounds, n)
+		return bounds
 	}
 	epsPer := eps1 / float64(k-1)
-	prefix := prefixSums(data)
-	sq := make([]float64, n+1)
-	for i, v := range data {
-		sq[i+1] = sq[i] + v*v
-	}
 	sse := func(lo, hi int) float64 {
 		if hi <= lo {
 			return 0
 		}
 		w := float64(hi - lo)
-		total := prefix[hi] - prefix[lo]
-		return (sq[hi] - sq[lo]) - total*total/w
+		total := p.prefix[hi] - p.prefix[lo]
+		return (p.sq[hi] - p.sq[lo]) - total*total/w
 	}
 	lo := 0
 	for b := 1; b < k; b++ {
@@ -193,7 +262,7 @@ func (s *SF) selectBoundaries(data []float64, k int, eps1, F float64, m *noise.M
 			lo++
 			continue
 		}
-		scores := make([]float64, hiLimit-lo)
+		scores := sc.scores[:hiLimit-lo]
 		for mid := lo + 1; mid <= hiLimit; mid++ {
 			// Cost of closing the bucket at mid plus the remaining SSE
 			// amortized over the buckets still to come (the lookahead term
@@ -203,12 +272,13 @@ func (s *SF) selectBoundaries(data []float64, k int, eps1, F float64, m *noise.M
 			cost := sse(lo, mid) + sse(mid, n)/float64(remaining)
 			scores[mid-lo-1] = -cost / (4 * F)
 		}
-		pick := m.ExpMech("boundary", scores, 1, epsPer)
+		pick := m.ExpMechBuf("boundary", scores, 1, epsPer, sc.expBuf[:len(scores)])
 		mid := lo + 1 + pick
 		bounds = append(bounds, mid)
 		lo = mid
 	}
-	return append(bounds, n)
+	bounds = append(bounds, n)
+	return bounds
 }
 
 func prefixSums(data []float64) []float64 {

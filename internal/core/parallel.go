@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/algo"
 	"repro/internal/vec"
 )
 
@@ -21,6 +23,14 @@ type vecWithAnswers struct {
 // deterministic output by writing fn's result into a slot indexed by i, so
 // scheduling order never matters.
 func ParallelFor(workers, n int, fn func(i int) error) error {
+	return ParallelForWorkers(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ParallelForWorkers is ParallelFor with the executing worker's index (in
+// [0, workers)) passed to fn, so callers can hand each worker a private
+// scratch arena instead of contending on a shared pool. The inline
+// single-worker path always reports worker 0.
+func ParallelForWorkers(workers, n int, fn func(worker, i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -29,7 +39,7 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -51,15 +61,15 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range tasks {
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(tasks)
@@ -81,18 +91,25 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 // deriveSeed RNG stream as the serial path and writes into a pre-sized slot
 // indexed by (sample, trial), so neither scheduling nor collection order can
 // affect the output. workers <= 0 falls back to cfg.Parallelism, then to
-// runtime.GOMAXPROCS(0). The first cell error cancels the remaining work and
-// is propagated.
+// runtime.GOMAXPROCS(0); workers == 1 delegates to the serial Run outright,
+// paying zero pool or synchronization overhead. Each worker owns a private
+// scratch arena (workload evaluator, answer and estimate buffers), so cells
+// never contend on shared pools; the per-sample plans are built once and
+// shared read-only by every worker (plan Executes are concurrency-safe).
+// The first cell error cancels the remaining work and is propagated.
 func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
-	p, err := cfg.plan()
-	if err != nil {
-		return nil, err
-	}
 	if workers <= 0 {
 		workers = cfg.Parallelism
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return Run(cfg)
+	}
+	p, err := cfg.plan()
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 1: draw every data sample concurrently; each sample has its own
@@ -110,21 +127,44 @@ func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
 		return nil, err
 	}
 
+	// Phase 1.5: prepare every (sample, algorithm) plan concurrently. Plan
+	// construction is deterministic, so build order cannot affect output.
+	nalgs := len(cfg.Algorithms)
+	plans := make([][]algo.Plan, p.samples)
+	for s := range plans {
+		plans[s] = make([]algo.Plan, nalgs)
+	}
+	err = ParallelFor(workers, p.samples*nalgs, func(c int) error {
+		s, i := c/nalgs, c%nalgs
+		pl, err := cfg.Algorithms[i].Plan(xs[s].x, cfg.Workload, cfg.Eps)
+		if err != nil {
+			return fmt.Errorf("core: planning %s on %s: %w", cfg.Algorithms[i].Name(), cfg.Dataset.Name, err)
+		}
+		plans[s][i] = pl
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// Phase 2: fan out all cells. Cell c decodes to (s, t, i) in the serial
 	// loop order; its result lands in results[i].Errors[s*trials+t]. Each
-	// worker draws its evaluation scratch (workload Evaluator + answer
-	// buffer) from a pool, so cells reuse buffers instead of allocating; the
-	// scratch never influences results, only where intermediates are stored.
+	// worker keeps a private scratch arena for the whole phase — no pool
+	// traffic, no contention; the scratch never influences results, only
+	// where intermediates are stored.
 	results := newResults(cfg, p)
-	scratch := sync.Pool{New: func() any { return newEvalScratch(cfg.Workload) }}
-	perSample := p.trials * len(cfg.Algorithms)
-	err = ParallelFor(workers, p.samples*perSample, func(c int) error {
+	arenas := make([]*evalScratch, workers)
+	perSample := p.trials * nalgs
+	err = ParallelForWorkers(workers, p.samples*perSample, func(worker, c int) error {
 		s := c / perSample
-		t := (c % perSample) / len(cfg.Algorithms)
-		i := c % len(cfg.Algorithms)
-		sc := scratch.Get().(*evalScratch)
-		e, err := runCell(cfg, p, xs[s].x, xs[s].trueAns, s, t, i, sc)
-		scratch.Put(sc)
+		t := (c % perSample) / nalgs
+		i := c % nalgs
+		sc := arenas[worker]
+		if sc == nil {
+			sc = newEvalScratch(cfg.Workload)
+			arenas[worker] = sc
+		}
+		e, err := runCell(cfg, p, plans[s][i], xs[s].x, xs[s].trueAns, s, t, i, sc)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/dataset"
+	"repro/internal/noise"
 	"repro/internal/vec"
 	"repro/internal/workload"
 )
@@ -103,6 +104,24 @@ func (f *failingAlgo) Run(x *vec.Vector, _ *workload.Workload, _ float64, _ *ran
 		return nil, errors.New("synthetic failure")
 	}
 	return make([]float64, len(x.Data)), nil
+}
+
+func (f *failingAlgo) Plan(x *vec.Vector, _ *workload.Workload, _ float64) (algo.Plan, error) {
+	return failingPlan{f}, nil
+}
+
+// failingPlan fails each Execute past the allowance, exercising in-flight
+// error propagation through the plan-based trial loop.
+type failingPlan struct{ f *failingAlgo }
+
+func (p failingPlan) Execute(_ *noise.Meter, out []float64) error {
+	if p.f.calls.Add(1) > p.f.allow {
+		return errors.New("synthetic failure")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	return nil
 }
 
 // TestRunParallelPropagatesError: a failing algorithm must cancel the pool

@@ -75,16 +75,23 @@ func CheckConsistency(a algo.Algorithm, x *vec.Vector, w *workload.Workload, eps
 		return res, err
 	}
 	scale := x.Scale()
+	sc := newEvalScratch(w)
 	for ei, eps := range epsSweep {
+		// One plan per epsilon serves the whole trial loop.
+		plan, err := a.Plan(x, w, eps)
+		if err != nil {
+			return res, err
+		}
+		est := sc.estBuf(x.N())
 		var total float64
 		for t := 0; t < trials; t++ {
 			rng := newRNG(seed + int64(ei)*911 + int64(t))
-			est, err := a.Run(x, w, eps, rng)
-			if err != nil {
+			if err := plan.Execute(noise.NewMeter(eps, rng), est); err != nil {
 				return res, err
 			}
-			estAns := w.EvaluateFlat(est)
-			total += ScaledError(L2Loss(estAns, trueAns), scale, w.Size())
+			sc.ev.Reset(est)
+			sc.ev.AnswerAll(sc.estAns)
+			total += ScaledError(L2Loss(sc.estAns, trueAns), scale, w.Size())
 		}
 		res.Err = append(res.Err, total/float64(trials))
 	}
@@ -124,14 +131,20 @@ func MeasureBias(a algo.Algorithm, x *vec.Vector, w *workload.Workload, eps floa
 		return out, err
 	}
 	q := w.Size()
+	plan, err := a.Plan(x, w, eps)
+	if err != nil {
+		return out, err
+	}
+	sc := newEvalScratch(w)
+	est := sc.estBuf(x.N())
 	answers := make([][]float64, trials)
 	for t := 0; t < trials; t++ {
 		rng := newRNG(seed + int64(t)*6_700_417)
-		est, err := a.Run(x, w, eps, rng)
-		if err != nil {
+		if err := plan.Execute(noise.NewMeter(eps, rng), est); err != nil {
 			return out, err
 		}
-		answers[t] = w.EvaluateFlat(est)
+		sc.ev.Reset(est)
+		answers[t] = sc.ev.AnswerAll(nil)
 	}
 	scale2 := x.Scale() * x.Scale()
 	meanAns := make([]float64, q)
@@ -170,15 +183,21 @@ func meanScaledError(a algo.Algorithm, shape *vec.Vector, w *workload.Workload, 
 	if err != nil {
 		return 0, err
 	}
+	plan, err := a.Plan(x, w, eps)
+	if err != nil {
+		return 0, err
+	}
+	sc := newEvalScratch(w)
+	est := sc.estBuf(x.N())
 	errs := make([]float64, 0, trials)
 	for t := 0; t < trials; t++ {
 		rng := newRNG(seed + int64(t)*15_485_863)
-		est, err := a.Run(x, w, eps, rng)
-		if err != nil {
+		if err := plan.Execute(noise.NewMeter(eps, rng), est); err != nil {
 			return 0, err
 		}
-		estAns := w.EvaluateFlat(est)
-		errs = append(errs, ScaledError(L2Loss(estAns, trueAns), float64(scale), w.Size()))
+		sc.ev.Reset(est)
+		sc.ev.AnswerAll(sc.estAns)
+		errs = append(errs, ScaledError(L2Loss(sc.estAns, trueAns), float64(scale), w.Size()))
 	}
 	return stats.Mean(errs), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/dataset"
+	"repro/internal/noise"
 	"repro/internal/stats"
 	"repro/internal/vec"
 	"repro/internal/workload"
@@ -115,17 +116,28 @@ func newResults(cfg Config, p runPlan) []AlgResult {
 	return results
 }
 
-// evalScratch holds the per-worker estimate-evaluation buffers: a reusable
-// workload Evaluator plus the answer vector the loss is computed over. One
-// scratch serves every cell a worker executes, so the per-trial hot path of
-// the runner performs no workload-evaluation allocations.
+// evalScratch holds the per-worker trial buffers: a reusable workload
+// Evaluator, the answer vector the loss is computed over, and the estimate
+// buffer mechanism plans execute into. One scratch serves every cell a
+// worker executes, so the per-trial hot path of the runner performs no
+// workload-evaluation or estimate allocations.
 type evalScratch struct {
 	ev     *workload.Evaluator
 	estAns []float64
+	est    []float64
 }
 
 func newEvalScratch(w *workload.Workload) *evalScratch {
 	return &evalScratch{ev: workload.NewEvaluator(w), estAns: make([]float64, w.Size())}
+}
+
+// estBuf returns the scratch's estimate buffer at length n, growing it on
+// first use (the domain size is fixed within one Config).
+func (sc *evalScratch) estBuf(n int) []float64 {
+	if cap(sc.est) < n {
+		sc.est = make([]float64, n)
+	}
+	return sc.est[:n]
 }
 
 // generateSample draws sample s's data vector from the generator on its
@@ -143,19 +155,37 @@ func generateSample(cfg Config, s int) (*vec.Vector, []float64, error) {
 	return x, trueAns, nil
 }
 
+// buildPlans prepares one executable plan per algorithm for one sample's
+// data vector. Plans amortize all structure building across the sample's
+// trials; data-independent mechanisms additionally share their structures
+// process-wide, so repeated cells of a sweep pay for them once.
+func buildPlans(cfg Config, x *vec.Vector) ([]algo.Plan, error) {
+	plans := make([]algo.Plan, len(cfg.Algorithms))
+	for i, a := range cfg.Algorithms {
+		p, err := a.Plan(x, cfg.Workload, cfg.Eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning %s on %s: %w", a.Name(), cfg.Dataset.Name, err)
+		}
+		plans[i] = p
+	}
+	return plans, nil
+}
+
 // runCell executes one (sample, trial, algorithm) cell on its own RNG stream
-// and returns the scaled error. sc provides the reusable evaluation buffers.
-// With cfg.Audit set the trial runs through algo.RunAudited, which verifies
-// the mechanism's budget ledger after the run.
-func runCell(cfg Config, p runPlan, x *vec.Vector, trueAns []float64, s, t, i int, sc *evalScratch) (float64, error) {
+// through the sample's prepared plan and returns the scaled error. sc
+// provides the reusable evaluation and estimate buffers. With cfg.Audit set
+// the trial runs through algo.ExecuteAudited, which verifies the mechanism's
+// budget ledger after the run. Output is bit-identical to running the
+// algorithm directly: Run is Plan + Execute by construction.
+func runCell(cfg Config, p runPlan, plan algo.Plan, x *vec.Vector, trueAns []float64, s, t, i int, sc *evalScratch) (float64, error) {
 	a := cfg.Algorithms[i]
 	runRNG := newRNG(deriveSeed(cfg.Seed, s, t, i))
-	var est []float64
+	est := sc.estBuf(x.N())
 	var err error
 	if cfg.Audit {
-		est, err = algo.RunAudited(a, x, cfg.Workload, cfg.Eps, runRNG)
+		err = algo.ExecuteAudited(a, plan, cfg.Eps, runRNG, est)
 	} else {
-		est, err = a.Run(x, cfg.Workload, cfg.Eps, runRNG)
+		err = plan.Execute(noise.NewMeter(cfg.Eps, runRNG), est)
 	}
 	if err != nil {
 		return 0, fmt.Errorf("core: %s on %s: %w", a.Name(), cfg.Dataset.Name, err)
@@ -170,7 +200,9 @@ func runCell(cfg Config, p runPlan, x *vec.Vector, trueAns []float64, s, t, i in
 // vectors; every (vector, trial, algorithm) triple gets an independent
 // deterministic RNG stream (derived via SplitMix64, see deriveSeed) so
 // results are reproducible and algorithms do not perturb each other's
-// randomness. RunParallel computes the identical output concurrently.
+// randomness. Each (sample, algorithm) pair is planned once and the plan is
+// executed across all trials, so structure building is amortized out of the
+// trial loop. RunParallel computes the identical output concurrently.
 func Run(cfg Config) ([]AlgResult, error) {
 	p, err := cfg.plan()
 	if err != nil {
@@ -183,9 +215,13 @@ func Run(cfg Config) ([]AlgResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		plans, err := buildPlans(cfg, x)
+		if err != nil {
+			return nil, err
+		}
 		for t := 0; t < p.trials; t++ {
 			for i := range cfg.Algorithms {
-				e, err := runCell(cfg, p, x, trueAns, s, t, i, sc)
+				e, err := runCell(cfg, p, plans[i], x, trueAns, s, t, i, sc)
 				if err != nil {
 					return nil, err
 				}

@@ -131,15 +131,20 @@ func (t *Trainer) Train() (*Profile, error) {
 				if err != nil {
 					return nil, err
 				}
+				// One candidate instance and one plan serve every trial on
+				// this training vector; each trial keeps its own RNG stream.
+				a := t.Make(cand)
+				plan, err := a.Plan(x, w, eps)
+				if err != nil {
+					return nil, err
+				}
+				est := sc.estBuf(n)
 				for tr := 0; tr < trials; tr++ {
-					a := t.Make(cand)
 					runRNG := newRNG(t.Seed + int64(li)*99_991 + int64(ci)*31_337 + int64(si)*7_907 + int64(tr))
-					var est []float64
-					var err error
 					if t.Audit {
-						est, err = algo.RunAudited(a, x, w, eps, runRNG)
+						err = algo.ExecuteAudited(a, plan, eps, runRNG, est)
 					} else {
-						est, err = a.Run(x, w, eps, runRNG)
+						err = plan.Execute(noise.NewMeter(eps, runRNG), est)
 					}
 					if err != nil {
 						return nil, err

@@ -40,6 +40,10 @@ type Options struct {
 	// declared composition plan) fails the experiment. Output values are
 	// bit-identical with and without auditing.
 	Audit bool
+	// Domain1D, when positive, overrides the 1D domain size of every
+	// experiment (dpbench -n). The planned mechanisms scale to million-bin
+	// domains; see BenchmarkLargeDomain.
+	Domain1D int
 }
 
 func (o Options) workers() int {
@@ -64,6 +68,9 @@ func (o Options) trials() int {
 }
 
 func (o Options) domain1D() int {
+	if o.Domain1D > 0 {
+		return o.Domain1D
+	}
 	if o.Quick {
 		return 512
 	}

@@ -134,21 +134,51 @@ func (m *Dense) Sensitivity() float64 {
 	return best
 }
 
-// CholeskySolve solves the SPD system G z = b via Cholesky factorization.
-// G must be symmetric positive definite (true for S^T S when S has full
-// column rank). Callers solving against the same G repeatedly should factor
-// once with CholeskyFactor and reuse the factor via SolveFactored.
-func CholeskySolve(g *Dense, b []float64) ([]float64, error) {
-	if len(b) != g.Rows {
-		return nil, fmt.Errorf("matrix: CholeskySolve shape mismatch")
-	}
+// Solver is a factored SPD system G = L L^T with reusable solve scratch:
+// factor once, then Solve any number of right-hand sides with zero
+// allocations per call. It replaces the factor-per-call pattern of the old
+// CholeskySolve for any caller that hits the same system repeatedly
+// (Mechanism caches one internally for its trial loop).
+type Solver struct {
+	L   *Dense
+	fwd []float64
+}
+
+// NewSolver factors the SPD matrix g.
+func NewSolver(g *Dense) (*Solver, error) {
 	L, err := CholeskyFactor(g)
 	if err != nil {
 		return nil, err
 	}
-	z := make([]float64, g.Rows)
-	SolveFactored(L, b, z, make([]float64, g.Rows))
-	return z, nil
+	return &Solver{L: L, fwd: make([]float64, g.Rows)}, nil
+}
+
+// Solve writes the solution of G z = b into z (len g.Rows) and returns it; a
+// nil z allocates. The Solver's internal scratch makes this not safe for
+// concurrent use; share the factor L via SolveFactored with per-caller
+// scratch instead.
+func (s *Solver) Solve(b, z []float64) []float64 {
+	if z == nil {
+		z = make([]float64, s.L.Rows)
+	}
+	SolveFactored(s.L, b, z, s.fwd)
+	return z
+}
+
+// CholeskySolve solves the SPD system G z = b via Cholesky factorization.
+// G must be symmetric positive definite (true for S^T S when S has full
+// column rank). It factors per call — one-shot use only; repeated solves
+// against the same G should hold a Solver (or a Mechanism, which caches its
+// strategy's factor across trials).
+func CholeskySolve(g *Dense, b []float64) ([]float64, error) {
+	if len(b) != g.Rows {
+		return nil, fmt.Errorf("matrix: CholeskySolve shape mismatch")
+	}
+	s, err := NewSolver(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(b, nil), nil
 }
 
 // CholeskyFactor computes the lower-triangular factor L with G = L L^T.
@@ -247,16 +277,30 @@ func (mm *Mechanism) prepare() error {
 
 // Run measures Sx under Laplace noise calibrated to the strategy sensitivity
 // and reconstructs the least-squares cell estimate
-// x-hat = (S^T S)^{-1} S^T (Sx + noise).
+// x-hat = (S^T S)^{-1} S^T (Sx + noise) into a fresh slice.
 func (mm *Mechanism) Run(x []float64, eps float64, rng *rand.Rand) ([]float64, error) {
+	out := make([]float64, mm.Strategy.Cols)
+	if err := mm.RunInto(out, x, eps, rng); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunInto is Run writing the estimate into a caller-provided buffer (len
+// Strategy.Cols), so a trial loop over one strategy performs no per-trial
+// allocations at all: the factor is cached, the intermediates pooled.
+func (mm *Mechanism) RunInto(out, x []float64, eps float64, rng *rand.Rand) error {
 	if eps <= 0 {
-		return nil, fmt.Errorf("matrix: non-positive epsilon")
+		return fmt.Errorf("matrix: non-positive epsilon")
 	}
 	if len(x) != mm.Strategy.Cols {
-		return nil, fmt.Errorf("matrix: data has %d cells, strategy expects %d", len(x), mm.Strategy.Cols)
+		return fmt.Errorf("matrix: data has %d cells, strategy expects %d", len(x), mm.Strategy.Cols)
+	}
+	if len(out) != mm.Strategy.Cols {
+		return fmt.Errorf("matrix: output has %d cells, strategy expects %d", len(out), mm.Strategy.Cols)
 	}
 	if err := mm.prepare(); err != nil {
-		return nil, err
+		return err
 	}
 	sc, _ := mm.scratch.Get().(*mechScratch)
 	if sc == nil {
@@ -272,9 +316,8 @@ func (mm *Mechanism) Run(x []float64, eps float64, rng *rand.Rand) ([]float64, e
 		y[i] += noise.Laplace(rng, mm.sens/eps)
 	}
 	b := mm.Strategy.TransposeMulVecInto(sc.b, y)
-	z := make([]float64, mm.Strategy.Cols)
-	SolveFactored(mm.chol, b, z, sc.fwd)
-	return z, nil
+	SolveFactored(mm.chol, b, out, sc.fwd)
+	return nil
 }
 
 // ExpectedCellVariances returns the exact per-cell variance of the estimator

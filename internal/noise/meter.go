@@ -161,6 +161,14 @@ func (m *Meter) LaplaceVec(label string, x []float64, scale, eps float64) []floa
 	return LaplaceVec(m.rng, x, scale)
 }
 
+// LaplaceVecInto is LaplaceVec writing into a caller-provided destination, so
+// plan-execute hot paths add vector noise without allocating. The noise
+// stream is identical to LaplaceVec's.
+func (m *Meter) LaplaceVecInto(label string, dst, x []float64, scale, eps float64) []float64 {
+	m.charge(label, eps, false)
+	return LaplaceVecInto(m.rng, dst, x, scale)
+}
+
 // LaplaceMechanism perturbs f with noise calibrated to the given L1
 // sensitivity and budget (Definition 2), charging eps sequentially. A
 // non-positive epsilon is recorded as a meter error and nil returned —
@@ -174,6 +182,18 @@ func (m *Meter) LaplaceMechanism(label string, f []float64, sensitivity, eps flo
 	}
 	m.charge(label, eps, false)
 	return out
+}
+
+// LaplaceMechanismInto is LaplaceMechanism writing into a caller-provided
+// destination (len(f)). On a non-positive epsilon the error is recorded and
+// dst is left untouched — never filled with unperturbed input.
+func (m *Meter) LaplaceMechanismInto(label string, dst, f []float64, sensitivity, eps float64) []float64 {
+	if eps <= 0 {
+		m.fail(fmt.Errorf("noise: non-positive epsilon %v in Laplace mechanism", eps))
+		return nil
+	}
+	m.charge(label, eps, false)
+	return LaplaceVecInto(m.rng, dst, f, sensitivity/eps)
 }
 
 // Geometric draws from the two-sided geometric (discrete Laplace)
@@ -212,6 +232,11 @@ func (m *Meter) ExpMechBuf(label string, scores []float64, sensitivity, eps floa
 	return m.expMech(label, scores, sensitivity, eps, weights, false)
 }
 
+// ExpMechBufPar is ExpMechPar with a caller-provided weight buffer.
+func (m *Meter) ExpMechBufPar(label string, scores []float64, sensitivity, eps float64, weights []float64) int {
+	return m.expMech(label, scores, sensitivity, eps, weights, true)
+}
+
 func (m *Meter) expMech(label string, scores []float64, sensitivity, eps float64, weights []float64, parallel bool) int {
 	idx, err := ExpMechBuf(m.rng, scores, sensitivity, eps, weights)
 	if err != nil {
@@ -246,15 +271,30 @@ func (m *Meter) SubParEps(label string, eps float64) *Meter {
 }
 
 func (m *Meter) sub(label string, eps float64, parallel bool) *Meter {
-	c := &Meter{rng: m.rng, total: eps, parent: m, label: label, parallel: parallel}
+	c := &Meter{}
+	m.initSub(c, label, eps, parallel)
+	return c
+}
+
+func (m *Meter) initSub(c *Meter, label string, eps float64, parallel bool) {
+	*c = Meter{rng: m.rng, total: eps, parent: m, label: label, parallel: parallel}
 	if eps <= 0 {
 		c.fail(fmt.Errorf("noise: non-positive sub-meter budget %v for %q", eps, label))
-		return c
+		return
 	}
 	if m.acct != nil {
 		c.acct = newPooledAccountant(eps)
 	}
-	return c
+}
+
+// ResetSub re-initializes sub — a caller-retained Meter — as a sub-meter of m
+// with an absolute budget, avoiding the per-call allocation of SubEps /
+// SubParEps on hot paths that open many short-lived scopes (SF opens one per
+// bucket per trial). The previous contents of sub are discarded; it must have
+// been Closed (or never used) before reuse. Semantics otherwise match SubEps
+// (parallel=false) and SubParEps (parallel=true).
+func (m *Meter) ResetSub(sub *Meter, label string, eps float64, parallel bool) {
+	m.initSub(sub, label, eps, parallel)
 }
 
 // Close finishes a sub-meter: the parent is charged the child's spent total

@@ -28,11 +28,20 @@ func Laplace(rng *rand.Rand, scale float64) float64 {
 // LaplaceVec adds independent Laplace(scale) noise to each element of x and
 // returns a new slice; x is not modified.
 func LaplaceVec(rng *rand.Rand, x []float64, scale float64) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = v + Laplace(rng, scale)
+	return LaplaceVecInto(rng, make([]float64, len(x)), x, scale)
+}
+
+// LaplaceVecInto is LaplaceVec writing into a caller-provided destination
+// (len(x)), so per-trial hot paths draw the identical noise stream without
+// allocating. dst must not alias x unless the caller no longer needs x.
+func LaplaceVecInto(rng *rand.Rand, dst, x []float64, scale float64) []float64 {
+	if len(dst) != len(x) {
+		panic("noise: LaplaceVecInto length mismatch")
 	}
-	return out
+	for i, v := range x {
+		dst[i] = v + Laplace(rng, scale)
+	}
+	return dst
 }
 
 // LaplaceMechanism perturbs the vector-valued query answer f with noise

@@ -24,22 +24,35 @@ func FFT(x []complex128) []complex128 {
 // IFFT computes the inverse discrete Fourier transform of x (normalized by
 // 1/n so that IFFT(FFT(x)) == x).
 func IFFT(x []complex128) []complex128 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
-	var out []complex128
+	return IFFTInto(make([]complex128, len(x)), x)
+}
+
+// IFFTInto is IFFT writing into a caller-provided destination (len(x)), so
+// per-trial hot paths (EFPA's reconstruction) invert without allocating on
+// power-of-two lengths; other lengths fall back to Bluestein's internal
+// buffers. dst must not alias x. The arithmetic is identical to IFFT.
+func IFFTInto(dst, x []complex128) []complex128 {
+	n := len(x)
+	if len(dst) != n {
+		panic("transform: IFFTInto length mismatch")
+	}
+	if n == 0 {
+		return dst
+	}
 	if n&(n-1) == 0 {
-		out = append([]complex128(nil), x...)
-		fftRadix2(out, true)
+		copy(dst, x)
+		fftRadix2(dst, true)
 	} else {
-		out = bluestein(x, true)
+		copy(dst, bluestein(x, true))
 	}
 	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // FFTReal transforms a real vector.

@@ -41,22 +41,38 @@ func HaarForward(x []float64) ([]float64, error) {
 // HaarInverse inverts HaarForward.
 func HaarInverse(c []float64) ([]float64, error) {
 	n := len(c)
+	dst := make([]float64, n)
+	if err := HaarInverseInto(dst, make([]float64, n), c); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// HaarInverseInto inverts HaarForward into dst using tmp as ping-pong
+// scratch (both len(c)); no allocations, identical arithmetic to
+// HaarInverse. dst and tmp must not alias c or each other.
+func HaarInverseInto(dst, tmp, c []float64) error {
+	n := len(c)
 	if n == 0 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("transform: Haar length %d is not a power of two", n)
+		return fmt.Errorf("transform: Haar length %d is not a power of two", n)
 	}
-	avg := []float64{c[0]}
-	level := 1
-	for level < n {
+	if len(dst) != n || len(tmp) != n {
+		return fmt.Errorf("transform: Haar inverse buffer length mismatch")
+	}
+	cur, next := dst, tmp
+	cur[0] = c[0]
+	for level := 1; level < n; level *= 2 {
 		detail := c[level : 2*level]
-		next := make([]float64, 2*level)
 		for i := 0; i < level; i++ {
-			next[2*i] = avg[i] + detail[i]
-			next[2*i+1] = avg[i] - detail[i]
+			next[2*i] = cur[i] + detail[i]
+			next[2*i+1] = cur[i] - detail[i]
 		}
-		avg = next
-		level *= 2
+		cur, next = next, cur
 	}
-	return avg, nil
+	if &cur[0] != &dst[0] {
+		copy(dst, cur)
+	}
+	return nil
 }
 
 // HaarLevel returns the tree level of coefficient index i in the layout

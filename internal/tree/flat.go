@@ -1,0 +1,423 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/noise"
+)
+
+// Flat is an immutable, flattened aggregation tree: pure structure (topology,
+// depths, spans, leaf cell lists) with no per-trial state, so one Flat built
+// once per experiment cell can be shared read-only across every sample, trial
+// and worker that needs the same hierarchy. Per-trial values (measurements
+// and the inference passes' intermediates) live in a Scratch drawn from the
+// Flat's internal pool, which is what turns the tree mechanisms' per-trial
+// cost from "rebuild the whole structure" into "draw the noise".
+//
+// Nodes are stored in pre-order, the exact order Node.Walk visits them, so
+// MeasureInto draws the identical noise stream as Node.Measure; children of a
+// node are recorded in their original order, so every floating-point
+// reduction (true-count sums, the inference passes) reproduces the recursive
+// implementation's association bit for bit.
+type Flat struct {
+	n      int // number of cells covered (leaves partition [0, n) for builders)
+	height int
+
+	depth  []int32
+	kidOff []int32 // children of node i: kids[kidOff[i]:kidOff[i+1]]
+	kids   []int32
+	celOff []int32 // leaf cells of node i: cells[celOff[i]:celOff[i+1]]
+	cells  []int32
+	spanLo []int32 // inclusive covered cell span, from Node.Span
+	spanHi []int32
+
+	pool sync.Pool // *Scratch
+}
+
+// Scratch holds one trial's per-node values for a Flat: the noisy
+// measurements y and the working arrays of the two inference passes. Obtain
+// one with Acquire and return it with Release; a Scratch is not safe for
+// concurrent use, but distinct Scratches over the same Flat are.
+type Scratch struct {
+	sums []float64 // exact per-node totals of the trial's data vector
+	y    []float64 // noisy measurements
+	z    []float64 // combined estimate (upward), then target (downward)
+	zvar []float64
+	kSum []float64 // sum of children's z, in child order
+	kVar []float64 // sum of children's zvar, in child order
+	vars []float64 // per-level measurement variance (len height)
+}
+
+// Flatten converts a finalized Node tree into its immutable flat form.
+func Flatten(root *Node) *Flat {
+	f := &Flat{n: root.Size(), height: root.Height()}
+	nodes := root.CountNodes()
+	f.depth = make([]int32, nodes)
+	f.kidOff = make([]int32, nodes+1)
+	f.celOff = make([]int32, nodes+1)
+	f.spanLo = make([]int32, nodes)
+	f.spanHi = make([]int32, nodes)
+	// Pre-order index assignment: a node's children get consecutive DFS
+	// visits, and the kids list records their indices in child order.
+	idx := 0
+	var rec func(nd *Node, depth int) int32
+	rec = func(nd *Node, depth int) int32 {
+		i := int32(idx)
+		idx++
+		f.depth[i] = int32(depth)
+		f.spanLo[i], f.spanHi[i] = int32(nd.lo), int32(nd.hi)
+		f.kidOff[i] = int32(len(f.kids))
+		// Reserve the kid slots now so they stay in child order even though
+		// each child's subtree is flattened before the next child's index is
+		// known; pre-order makes child c's index computable only after c-1's
+		// subtree is done, so fill the reserved slots as we go.
+		base := len(f.kids)
+		for range nd.Children {
+			f.kids = append(f.kids, 0)
+		}
+		f.celOff[i] = int32(len(f.cells))
+		for _, c := range nd.Cells {
+			f.cells = append(f.cells, int32(c))
+		}
+		for ci, c := range nd.Children {
+			f.kids[base+ci] = rec(c, depth+1)
+		}
+		return i
+	}
+	rec(root, 0)
+	// kidOff/celOff are per-node starts; close them into prefix form.
+	f.kidOff[nodes] = int32(len(f.kids))
+	f.celOff[nodes] = int32(len(f.cells))
+	f.pool.New = func() any {
+		return &Scratch{
+			sums: make([]float64, nodes),
+			y:    make([]float64, nodes),
+			z:    make([]float64, nodes),
+			zvar: make([]float64, nodes),
+			kSum: make([]float64, nodes),
+			kVar: make([]float64, nodes),
+			vars: make([]float64, f.height),
+		}
+	}
+	return f
+}
+
+// NewScratch returns an empty standalone Scratch that grows on demand. It is
+// the companion of RebuildInterval: rebuildable trees change node counts per
+// rebuild, so their callers hold one auto-sizing scratch instead of drawing
+// from a fixed-size pool.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure grows the scratch to cover nodes and height.
+func (sc *Scratch) ensure(nodes, height int) {
+	if cap(sc.sums) < nodes {
+		sc.sums = make([]float64, nodes)
+		sc.y = make([]float64, nodes)
+		sc.z = make([]float64, nodes)
+		sc.zvar = make([]float64, nodes)
+		sc.kSum = make([]float64, nodes)
+		sc.kVar = make([]float64, nodes)
+	} else {
+		sc.sums = sc.sums[:nodes]
+		sc.y = sc.y[:nodes]
+		sc.z = sc.z[:nodes]
+		sc.zvar = sc.zvar[:nodes]
+		sc.kSum = sc.kSum[:nodes]
+		sc.kVar = sc.kVar[:nodes]
+	}
+	if cap(sc.vars) < height {
+		sc.vars = make([]float64, height)
+	} else {
+		sc.vars = sc.vars[:height]
+	}
+}
+
+// RebuildInterval rebuilds f in place as the flat form of BuildInterval(n, b)
+// — identical pre-order layout, spans and child order — reusing its arrays,
+// so per-trial throwaway hierarchies (SF's noisy bucket widths never repeat
+// enough to cache) cost zero steady-state allocations to construct. A
+// rebuildable Flat is single-owner: do not share it across goroutines or mix
+// it with the Acquire/Release pool (use NewScratch).
+func (f *Flat) RebuildInterval(n, b int) error {
+	if n <= 0 {
+		return fmt.Errorf("tree: non-positive domain size %d", n)
+	}
+	if b < 2 {
+		return fmt.Errorf("tree: branching factor %d < 2", b)
+	}
+	f.n = n
+	f.height = 0
+	f.depth = f.depth[:0]
+	f.kids = f.kids[:0]
+	f.cells = f.cells[:0]
+	f.spanLo = f.spanLo[:0]
+	f.spanHi = f.spanHi[:0]
+	// kidOff/celOff are rebuilt as starts and closed into prefix form below.
+	f.kidOff = f.kidOff[:0]
+	f.celOff = f.celOff[:0]
+	f.rebuildRec(0, n, 0, b)
+	f.kidOff = append(f.kidOff, int32(len(f.kids)))
+	f.celOff = append(f.celOff, int32(len(f.cells)))
+	return nil
+}
+
+// rebuildRec is RebuildInterval's recursion (a method, not a closure, so the
+// per-call environment never escapes to the heap).
+func (f *Flat) rebuildRec(lo, hi, depth, b int) int32 {
+	i := int32(len(f.depth))
+	f.depth = append(f.depth, int32(depth))
+	f.spanLo = append(f.spanLo, int32(lo))
+	f.spanHi = append(f.spanHi, int32(hi-1))
+	f.kidOff = append(f.kidOff, int32(len(f.kids)))
+	f.celOff = append(f.celOff, int32(len(f.cells)))
+	if depth+1 > f.height {
+		f.height = depth + 1
+	}
+	span := hi - lo
+	if span == 1 {
+		f.cells = append(f.cells, int32(lo))
+		return i
+	}
+	// Split into at most b nearly equal chunks, as buildInterval does.
+	chunks := b
+	if span < b {
+		chunks = span
+	}
+	base := len(f.kids)
+	start := lo
+	for c := 0; c < chunks; c++ {
+		end := lo + (span*(c+1))/chunks
+		if end > start {
+			f.kids = append(f.kids, 0)
+			start = end
+		}
+	}
+	// f.kids grows while children are flattened; index via base.
+	start = lo
+	ci := 0
+	for c := 0; c < chunks; c++ {
+		end := lo + (span*(c+1))/chunks
+		if end > start {
+			f.kids[base+ci] = f.rebuildRec(start, end, depth+1, b)
+			ci++
+			start = end
+		}
+	}
+	return i
+}
+
+// N returns the number of cells the tree covers.
+func (f *Flat) N() int { return f.n }
+
+// Height returns the number of levels (a single leaf has height 1).
+func (f *Flat) Height() int { return f.height }
+
+// NumNodes returns the node count.
+func (f *Flat) NumNodes() int { return len(f.depth) }
+
+// Acquire returns a Scratch for one trial over this tree.
+func (f *Flat) Acquire() *Scratch { return f.pool.Get().(*Scratch) }
+
+// Release returns a Scratch to the pool.
+func (f *Flat) Release(sc *Scratch) { f.pool.Put(sc) }
+
+func (f *Flat) isLeaf(i int) bool { return f.kidOff[i] == f.kidOff[i+1] }
+
+// ComputeSums fills sc's per-node totals of data bottom-up. Leaf sums add
+// cells in list order and internal sums add children in child order — the
+// same association as Node.TrueCount's recursion, so the values are bitwise
+// identical while the total work drops from O(nodes * depth) pointer chasing
+// to one linear pass.
+func (f *Flat) ComputeSums(data []float64, sc *Scratch) {
+	sc.ensure(len(f.depth), f.height)
+	for i := len(f.depth) - 1; i >= 0; i-- {
+		var s float64
+		if f.isLeaf(i) {
+			for _, c := range f.cells[f.celOff[i]:f.celOff[i+1]] {
+				s += data[c]
+			}
+		} else {
+			for _, k := range f.kids[f.kidOff[i]:f.kidOff[i+1]] {
+				s += sc.sums[k]
+			}
+		}
+		sc.sums[i] = s
+	}
+}
+
+// MeasureInto draws one Laplace measurement per node at the per-level budget
+// epsByLevel, in pre-order — the exact draw order (and ledger charges) of
+// Node.Measure — writing noisy totals into the scratch. ComputeSums must run
+// first. A zero (or missing) level budget leaves the level unmeasured.
+func (f *Flat) MeasureInto(m *noise.Meter, sc *Scratch, epsByLevel []float64) {
+	sc.ensure(len(f.depth), f.height)
+	for d := 0; d < f.height; d++ {
+		if d < len(epsByLevel) && epsByLevel[d] > 0 {
+			eps := epsByLevel[d]
+			sc.vars[d] = 2 / (eps * eps)
+		} else {
+			sc.vars[d] = math.Inf(1)
+		}
+	}
+	for i := range f.depth {
+		d := int(f.depth[i])
+		if d >= len(epsByLevel) || epsByLevel[d] <= 0 {
+			sc.y[i] = 0
+			continue
+		}
+		eps := epsByLevel[d]
+		sc.y[i] = sc.sums[i] + m.LaplacePar(LevelLabel(d), 1/eps, eps)
+	}
+}
+
+// InferInto runs the two-pass weighted least-squares consistency inference
+// over the scratch's measurements and writes per-cell estimates into out
+// (which is zeroed first). The passes visit children in child order, so every
+// sum and correction reproduces Node.Infer's floating-point result exactly.
+func (f *Flat) InferInto(sc *Scratch, out []float64) {
+	nodes := len(f.depth)
+	// Upward pass in reverse pre-order: every node's children are processed
+	// before the node itself.
+	for i := nodes - 1; i >= 0; i-- {
+		yvar := sc.vars[f.depth[i]]
+		if f.isLeaf(i) {
+			if math.IsInf(yvar, 1) {
+				sc.z[i], sc.zvar[i] = 0, unmeasuredVar
+			} else {
+				sc.z[i], sc.zvar[i] = sc.y[i], yvar
+			}
+			continue
+		}
+		var childSum, childVar float64
+		for _, k := range f.kids[f.kidOff[i]:f.kidOff[i+1]] {
+			childSum += sc.z[k]
+			childVar += sc.zvar[k]
+		}
+		sc.kSum[i], sc.kVar[i] = childSum, childVar
+		precY := 0.0
+		if !math.IsInf(yvar, 1) && yvar > 0 {
+			precY = 1 / yvar
+		}
+		precC := 0.0
+		if childVar > 0 {
+			precC = 1 / childVar
+		}
+		switch {
+		case precY == 0 && precC == 0:
+			sc.z[i], sc.zvar[i] = childSum, unmeasuredVar
+		case precY == 0:
+			sc.z[i], sc.zvar[i] = childSum, childVar
+		case precC == 0:
+			sc.z[i], sc.zvar[i] = sc.y[i], yvar
+		default:
+			sc.z[i] = (precY*sc.y[i] + precC*childSum) / (precY + precC)
+			sc.zvar[i] = 1 / (precY + precC)
+		}
+	}
+	// Downward pass in pre-order: z[i] is promoted in place from combined
+	// estimate to final target (parents are fully resolved before children
+	// are visited, exactly as the recursion resolves them).
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < nodes; i++ {
+		if f.isLeaf(i) {
+			cells := f.cells[f.celOff[i]:f.celOff[i+1]]
+			per := sc.z[i] / float64(len(cells))
+			for _, c := range cells {
+				out[c] += per
+			}
+			continue
+		}
+		resid := sc.z[i] - sc.kSum[i]
+		kids := f.kids[f.kidOff[i]:f.kidOff[i+1]]
+		varSum := sc.kVar[i]
+		for _, k := range kids {
+			share := 1.0 / float64(len(kids))
+			if varSum > 0 {
+				share = sc.zvar[k] / varSum
+			}
+			sc.z[k] += resid * share
+		}
+	}
+}
+
+// AddCanonicalCount adds, per tree level, the number of maximal nodes fully
+// contained in the inclusive cell range [lo, hi] — the canonical range
+// decomposition GreedyH weights hierarchy levels by. Node spans are the
+// cached Node.Span values, so the walk prunes exactly as the recursive
+// countCanonical does.
+func (f *Flat) AddCanonicalCount(lo, hi int, weights []float64) {
+	f.addCanonical(0, int32(lo), int32(hi), weights)
+}
+
+func (f *Flat) addCanonical(i int, lo, hi int32, weights []float64) {
+	if f.spanHi[i] < lo || f.spanLo[i] > hi {
+		return
+	}
+	if lo <= f.spanLo[i] && f.spanHi[i] <= hi {
+		weights[f.depth[i]]++
+		return
+	}
+	for _, k := range f.kids[f.kidOff[i]:f.kidOff[i+1]] {
+		f.addCanonical(int(k), lo, hi, weights)
+	}
+}
+
+// --- shared structure cache ---
+//
+// Data-independent structures depend only on their shape parameters, so one
+// global cache serves every mechanism instance, cell, and worker. Entries are
+// never evicted: the benchmark touches a bounded set of (domain, branching)
+// shapes, and DAWA/SF's per-trial sub-domains are bounded by the domain size.
+
+var flatCache sync.Map // flatKey -> *Flat
+
+type flatKey struct {
+	kind       uint8 // 0 interval, 1 grid, 2 quad
+	nx, ny, bh int   // branching factor or height cap, per kind
+}
+
+// SharedInterval returns the cached flattened b-ary interval tree over [0, n).
+func SharedInterval(n, b int) (*Flat, error) {
+	key := flatKey{kind: 0, nx: n, bh: b}
+	if v, ok := flatCache.Load(key); ok {
+		return v.(*Flat), nil
+	}
+	root, err := BuildInterval(n, b)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := flatCache.LoadOrStore(key, Flatten(root))
+	return v.(*Flat), nil
+}
+
+// SharedGrid returns the cached flattened b-ary grid hierarchy over nx x ny.
+func SharedGrid(nx, ny, b int) (*Flat, error) {
+	key := flatKey{kind: 1, nx: nx, ny: ny, bh: b}
+	if v, ok := flatCache.Load(key); ok {
+		return v.(*Flat), nil
+	}
+	root, err := BuildGrid(nx, ny, b)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := flatCache.LoadOrStore(key, Flatten(root))
+	return v.(*Flat), nil
+}
+
+// SharedQuad returns the cached flattened height-capped quadtree over nx x ny.
+func SharedQuad(nx, ny, maxHeight int) (*Flat, error) {
+	key := flatKey{kind: 2, nx: nx, ny: ny, bh: maxHeight}
+	if v, ok := flatCache.Load(key); ok {
+		return v.(*Flat), nil
+	}
+	root, err := BuildQuad(nx, ny, maxHeight)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := flatCache.LoadOrStore(key, Flatten(root))
+	return v.(*Flat), nil
+}

@@ -1,0 +1,221 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+// TestFlatMatchesNodeBitwise pins the flattened tree's whole trial pipeline
+// (sums, measurement draw order, two-pass inference) to the recursive Node
+// implementation bit for bit, across interval, grid and truncated quad
+// shapes. This is the foundation the plan layer's bit-identity rests on.
+func TestFlatMatchesNodeBitwise(t *testing.T) {
+	type build struct {
+		name string
+		mk   func() (*Node, error)
+		n    int
+	}
+	builds := []build{
+		{"interval-64-b2", func() (*Node, error) { return BuildInterval(64, 2) }, 64},
+		{"interval-100-b2", func() (*Node, error) { return BuildInterval(100, 2) }, 100},
+		{"interval-37-b5", func() (*Node, error) { return BuildInterval(37, 5) }, 37},
+		{"grid-8x8-b2", func() (*Node, error) { return BuildGrid(8, 8, 2) }, 64},
+		{"grid-6x9-b3", func() (*Node, error) { return BuildGrid(6, 9, 3) }, 54},
+		{"quad-16x16-h3", func() (*Node, error) { return BuildQuad(16, 16, 3) }, 256},
+		{"quad-7x5-h10", func() (*Node, error) { return BuildQuad(7, 5, 10) }, 35},
+	}
+	for _, b := range builds {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			root, err := b.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat := Flatten(root)
+			if flat.N() != b.n {
+				t.Fatalf("flat covers %d cells, want %d", flat.N(), b.n)
+			}
+			if flat.Height() != root.Height() {
+				t.Fatalf("flat height %d, node height %d", flat.Height(), root.Height())
+			}
+			if flat.NumNodes() != root.CountNodes() {
+				t.Fatalf("flat has %d nodes, tree has %d", flat.NumNodes(), root.CountNodes())
+			}
+			data := make([]float64, b.n)
+			rng := rand.New(rand.NewSource(7))
+			for i := range data {
+				data[i] = float64(rng.Intn(300))
+			}
+			for seed := int64(1); seed <= 4; seed++ {
+				for _, budget := range [][]float64{
+					UniformLevelBudget(0.8, root.Height()),
+					GeometricLevelBudget(0.8, root.Height()),
+					// A zero root-level budget exercises the unmeasured-node
+					// inference branches.
+					append([]float64{0}, UniformLevelBudget(0.8, root.Height())[1:]...),
+				} {
+					root.Measure(noise.NewMeter(0.8, rand.New(rand.NewSource(seed))), data, budget)
+					want := root.Infer(b.n)
+
+					sc := flat.Acquire()
+					flat.ComputeSums(data, sc)
+					flat.MeasureInto(noise.NewMeter(0.8, rand.New(rand.NewSource(seed))), sc, budget)
+					got := make([]float64, b.n)
+					flat.InferInto(sc, got)
+					flat.Release(sc)
+
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d cell %d: flat %v != node %v (bitwise)", seed, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRebuildIntervalMatchesFlatten checks that the in-place rebuildable
+// builder produces exactly the layout of Flatten(BuildInterval(n, b)) — same
+// node order, topology, spans and cells — and therefore the same trial
+// pipeline output, across sizes, branching factors and reuses of one arena.
+func TestRebuildIntervalMatchesFlatten(t *testing.T) {
+	var f Flat
+	sc := NewScratch()
+	rng := rand.New(rand.NewSource(11))
+	// Deliberately revisit sizes out of order to exercise arena reuse.
+	sizes := []int{1, 5, 64, 3, 100, 2, 37, 64, 1, 17}
+	for _, b := range []int{2, 3, 7} {
+		for _, n := range sizes {
+			root, err := BuildInterval(n, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Flatten(root)
+			if err := f.RebuildInterval(n, b); err != nil {
+				t.Fatal(err)
+			}
+			if f.N() != want.N() || f.Height() != want.Height() || f.NumNodes() != want.NumNodes() {
+				t.Fatalf("n=%d b=%d: shape mismatch (N %d/%d, height %d/%d, nodes %d/%d)",
+					n, b, f.N(), want.N(), f.Height(), want.Height(), f.NumNodes(), want.NumNodes())
+			}
+			for i := 0; i < f.NumNodes(); i++ {
+				if f.depth[i] != want.depth[i] || f.spanLo[i] != want.spanLo[i] || f.spanHi[i] != want.spanHi[i] ||
+					f.kidOff[i] != want.kidOff[i] || f.celOff[i] != want.celOff[i] {
+					t.Fatalf("n=%d b=%d node %d: layout mismatch", n, b, i)
+				}
+			}
+			for i, k := range want.kids {
+				if f.kids[i] != k {
+					t.Fatalf("n=%d b=%d kid %d: %d != %d", n, b, i, f.kids[i], k)
+				}
+			}
+			for i, c := range want.cells {
+				if f.cells[i] != c {
+					t.Fatalf("n=%d b=%d cell %d: %d != %d", n, b, i, f.cells[i], c)
+				}
+			}
+			// End-to-end: one measured trial must match bitwise.
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(rng.Intn(100))
+			}
+			budget := UniformLevelBudget(0.7, want.Height())
+			wsc := want.Acquire()
+			want.ComputeSums(data, wsc)
+			want.MeasureInto(noise.NewMeter(0.7, rand.New(rand.NewSource(5))), wsc, budget)
+			wout := make([]float64, n)
+			want.InferInto(wsc, wout)
+
+			f.ComputeSums(data, sc)
+			f.MeasureInto(noise.NewMeter(0.7, rand.New(rand.NewSource(5))), sc, budget)
+			gout := make([]float64, n)
+			f.InferInto(sc, gout)
+			for i := range wout {
+				if gout[i] != wout[i] {
+					t.Fatalf("n=%d b=%d cell %d: rebuilt %v != flattened %v", n, b, i, gout[i], wout[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSharedStructureCaching checks that the global caches return the same
+// immutable structure for repeated shape parameters and reject invalid ones.
+func TestSharedStructureCaching(t *testing.T) {
+	a, err := SharedInterval(512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedInterval(512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("SharedInterval did not cache")
+	}
+	if _, err := SharedInterval(0, 2); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	q1, err := SharedQuad(16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := SharedQuad(16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Fatal("SharedQuad did not cache")
+	}
+	g1, err := SharedGrid(8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A grid and a quad over the same domain are distinct cache entries.
+	if any(g1) == any(q1) {
+		t.Fatal("grid and quad cache entries collide")
+	}
+}
+
+// TestFlatCanonicalCountMatchesRecursive checks the canonical range
+// decomposition counts against a direct recursive walk over the Node tree.
+func TestFlatCanonicalCountMatchesRecursive(t *testing.T) {
+	root, err := BuildInterval(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := Flatten(root)
+	var rec func(nd *Node, depth, lo, hi int, w []float64)
+	rec = func(nd *Node, depth, lo, hi int, w []float64) {
+		nlo, nhi := nd.Span()
+		if nhi < lo || nlo > hi {
+			return
+		}
+		if lo <= nlo && nhi <= hi {
+			w[depth]++
+			return
+		}
+		for _, c := range nd.Children {
+			rec(c, depth+1, lo, hi, w)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 200; q++ {
+		lo, hi := rng.Intn(100), rng.Intn(100)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := make([]float64, root.Height())
+		rec(root, 0, lo, hi, want)
+		got := make([]float64, flat.Height())
+		flat.AddCanonicalCount(lo, hi, got)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("query [%d,%d] level %d: %v != %v", lo, hi, d, got[d], want[d])
+			}
+		}
+	}
+}

@@ -369,10 +369,19 @@ func GeometricLevelBudget(eps float64, h int) []float64 {
 // spread their estimate uniformly over their cells (the uniformity
 // assumption of Section 3.1).
 func (nd *Node) Infer(n int) []float64 {
-	nd.upward()
 	out := make([]float64, n)
-	nd.downward(nd.z, out)
+	nd.InferInto(out)
 	return out
+}
+
+// InferInto is Infer writing into a caller-provided slice, which is zeroed
+// first; hot paths reuse one buffer across trials.
+func (nd *Node) InferInto(out []float64) {
+	nd.upward()
+	for i := range out {
+		out[i] = 0
+	}
+	nd.downward(nd.z, out)
 }
 
 // upward computes, for every node, the minimum-variance unbiased combination

@@ -74,6 +74,20 @@ func (e *Evaluator) Reset(data []float64) {
 // full-domain prefix entry), at no extra cost.
 func (e *Evaluator) Total() float64 { return e.table[len(e.table)-1] }
 
+// Table1D exposes the evaluator's internal prefix table (len n+1) so an
+// advanced caller can fill it directly — table[0] = 0, table[i+1] =
+// table[i] + est[i] — instead of materializing an estimate vector and paying
+// Reset's extra pass (MWEM streams its segment-tree leaves straight into
+// prefix form this way). After filling, the evaluator answers exactly as if
+// Reset(est) had run. It panics on 2D evaluators, whose table is a
+// summed-area layout.
+func (e *Evaluator) Table1D() []float64 {
+	if len(e.w.Dims) != 1 {
+		panic("workload: Table1D on a non-1D evaluator")
+	}
+	return e.table
+}
+
 // AnswerAll writes the answer of every query into dst and returns it. dst
 // must have length w.Size(); a nil dst allocates a fresh slice. With a
 // non-nil dst the call performs no allocations.

@@ -2,7 +2,8 @@
 # bench.sh — run the benchmark suite with -benchmem and record the results as
 # a JSON snapshot (BENCH_<date>.json in the repo root), seeding the repo's
 # performance trajectory: one snapshot per perf-relevant PR makes regressions
-# and wins diffable.
+# and wins diffable. After writing the snapshot, it diffs against the latest
+# committed BENCH_*.json and prints per-benchmark time/alloc deltas.
 #
 # Usage:
 #   scripts/bench.sh                 # full suite, default benchtime
@@ -47,3 +48,43 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+
+# Diff against the latest committed snapshot (the newest BENCH_*.json tracked
+# by git, read at its last committed content so a same-day rerun that
+# overwrites the file still diffs against the true baseline): per-benchmark
+# ns/op and allocs/op ratios, so a perf PR's wins and regressions are visible
+# at a glance.
+base="$(git ls-files 'BENCH_*.json' | sort | tail -1 || true)"
+if [ -z "$base" ] || ! git cat-file -e "HEAD:$base" 2>/dev/null; then
+    echo "no committed BENCH_*.json baseline to diff against"
+    exit 0
+fi
+basejson="$(mktemp)"
+trap 'rm -f "$raw" "$basejson"' EXIT
+git show "HEAD:$base" > "$basejson"
+echo
+echo "delta vs committed $base (new/old; <1.00x is faster/leaner):"
+python3 - "$basejson" "$out" <<'PYEOF' 2>/dev/null || awk -v b="$base" 'BEGIN{print "  (python3 unavailable; skipping delta table)"}'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return {b["name"]: b for b in json.load(f)["benchmarks"]}
+
+old, new = load(sys.argv[1]), load(sys.argv[2])
+rows = []
+for name in new:
+    if name not in old:
+        rows.append((name, None, None))
+        continue
+    o, n = old[name], new[name]
+    t = n["ns_per_op"] / o["ns_per_op"] if o.get("ns_per_op") else None
+    a = None
+    if o.get("allocs_per_op") and n.get("allocs_per_op") is not None:
+        a = n["allocs_per_op"] / o["allocs_per_op"]
+    rows.append((name, t, a))
+for name, t, a in sorted(rows):
+    ts = f"{t:7.2f}x" if t is not None else "    new "
+    As = f"{a:7.2f}x" if a is not None else "       -"
+    print(f"  {name:<55s} time {ts}  allocs {As}")
+PYEOF
