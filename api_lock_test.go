@@ -1,0 +1,182 @@
+package dpbench_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAPILock is the compatibility tripwire for the public surface: the
+// exported identifiers of dpbench, dpbench/release and dpbench/privacy are
+// pinned to testdata/api_lock.golden, so an accidental addition, rename or
+// removal fails CI instead of silently shipping. Intentional surface
+// changes regenerate the golden with:
+//
+//	UPDATE_API_LOCK=1 go test -run TestAPILock .
+//
+// and the diff then documents the API change in review.
+func TestAPILock(t *testing.T) {
+	var b strings.Builder
+	for _, pkg := range []struct{ name, dir string }{
+		{"dpbench", "."},
+		{"dpbench/privacy", "privacy"},
+		{"dpbench/release", "release"},
+	} {
+		fmt.Fprintf(&b, "package %s\n", pkg.name)
+		for _, id := range exportedSurface(t, pkg.dir) {
+			fmt.Fprintf(&b, "  %s\n", id)
+		}
+	}
+	got := b.String()
+
+	const goldenPath = "testdata/api_lock.golden"
+	if os.Getenv("UPDATE_API_LOCK") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading the API lock (run UPDATE_API_LOCK=1 go test -run TestAPILock . to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface changed.\nIf intentional, regenerate with UPDATE_API_LOCK=1 go test -run TestAPILock .\n%s", surfaceDiff(string(want), got))
+	}
+}
+
+// exportedSurface parses one package directory (tests excluded) and returns
+// its exported declarations, one line each, sorted: "func F", "type T",
+// "method (T) M", "var V", "const C", and "field T.F" for exported struct
+// fields of exported types.
+func exportedSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	var out []string
+	add := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv == nil {
+						add("func %s", d.Name.Name)
+						continue
+					}
+					recv := receiverType(d.Recv.List[0].Type)
+					if recv == "" || !ast.IsExported(recv) {
+						continue
+					}
+					add("method (%s) %s", recv, d.Name.Name)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							add("type %s", s.Name.Name)
+							if st, ok := s.Type.(*ast.StructType); ok {
+								for _, fld := range st.Fields.List {
+									for _, n := range fld.Names {
+										if n.IsExported() {
+											add("field %s.%s", s.Name.Name, n.Name)
+										}
+									}
+								}
+							}
+						case *ast.ValueSpec:
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									add("%s %s", kind, n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func receiverType(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverType(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverType(t.X)
+	default:
+		return ""
+	}
+}
+
+// surfaceDiff renders a line-level diff of the two surfaces, enough to see
+// what appeared or vanished without a diff library. Identifier lines are
+// qualified by their enclosing "package ..." header before comparison, so a
+// symbol removed from one package still shows up even when another package
+// exports the same name (the facade re-exports several release/privacy
+// names).
+func surfaceDiff(want, got string) string {
+	qualify := func(s string) []string {
+		var out []string
+		pkg := ""
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "package ") {
+				pkg = strings.TrimPrefix(l, "package ")
+				continue
+			}
+			if strings.TrimSpace(l) != "" {
+				out = append(out, pkg+": "+strings.TrimSpace(l))
+			}
+		}
+		return out
+	}
+	wantLines, gotLines := qualify(want), qualify(got)
+	toSet := func(ls []string) map[string]bool {
+		m := make(map[string]bool, len(ls))
+		for _, l := range ls {
+			m[l] = true
+		}
+		return m
+	}
+	wantSet, gotSet := toSet(wantLines), toSet(gotLines)
+	var b strings.Builder
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -1,20 +1,21 @@
-package repro
+package dpbench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"testing"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/experiments"
-	"repro/internal/noise"
-	"repro/internal/transform"
-	"repro/internal/tree"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/core"
+	"dpbench/internal/dataset"
+	"dpbench/internal/experiments"
+	"dpbench/internal/noise"
+	"dpbench/internal/transform"
+	"dpbench/internal/tree"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // benchOptions trims the experiment grids to benchmark-friendly sizes while
@@ -206,7 +207,7 @@ func runnerBenchConfig(b *testing.B) core.Config {
 func BenchmarkRunSerial(b *testing.B) {
 	cfg := runnerBenchConfig(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(cfg); err != nil {
+		if _, err := core.Run(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +220,7 @@ func BenchmarkRunParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := runnerBenchConfig(b)
 			for i := 0; i < b.N; i++ {
-				if _, err := core.RunParallel(cfg, workers); err != nil {
+				if _, err := core.RunParallel(context.Background(), cfg, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

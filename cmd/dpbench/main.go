@@ -1,6 +1,7 @@
 // Command dpbench regenerates the tables and figures of "Principled
 // Evaluation of Differentially Private Algorithms using DPBench" (Hay et
-// al., SIGMOD 2016) from this repository's from-scratch implementations.
+// al., SIGMOD 2016) from this repository's from-scratch implementations,
+// and serves budget-metered DP range queries over HTTP.
 //
 // Usage:
 //
@@ -8,49 +9,111 @@
 //	dpbench -experiment tab3b -full      # the paper's full grid (slow)
 //	dpbench -experiment all -workers 8   # bound the experiment worker pool
 //	dpbench -experiment fig1a -n 1048576 # 1D sweep at a million-bin domain
-//	dpbench -experiment all -cpuprofile cpu.prof -memprofile mem.prof
+//	dpbench -list                        # print the mechanism registry
+//	dpbench serve -addr :8080 \
+//	  -datasets ADULT,TRACE -mechanisms IDENTITY,HB,DAWA -eps 0.05,0.1
 //
 // The grid runs on a bounded worker pool (default: GOMAXPROCS); output is
 // bit-identical for every -workers value, including 1. The -audit flag
-// verifies the privacy-budget ledger of every trial (spends sum to exactly
-// eps and match the mechanism's declared composition plan) without changing
-// any output value. The -cpuprofile and -memprofile flags write pprof
-// profiles covering the whole run, so performance work on the grid can be
-// driven by evidence (go tool pprof cpu.prof).
+// verifies the privacy-budget ledger of every trial without changing any
+// output value. Interrupting a long run (Ctrl-C) cancels it cleanly between
+// cells. The -cpuprofile and -memprofile flags write pprof profiles
+// covering the whole run.
+//
+// The serve subcommand precompiles one release plan per (dataset,
+// mechanism, epsilon) cell and answers range-query workloads over
+// HTTP/JSON, charging each request's epsilon to the caller's API-key budget
+// and refusing (HTTP 429) any request that would overspend it. See the
+// README's walkthrough.
 //
 // Experiments: fig1a fig1b fig2a fig2b fig2c tab3a tab3b find6 find7 find8
 // find9 find10 regret1d regret2d exch cons all.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/experiments"
+	"dpbench/internal/experiments"
+	"dpbench/internal/serve"
+	"dpbench/release"
 )
 
 func main() {
-	os.Exit(run())
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		os.Exit(runServe(args[1:]))
+	}
+	os.Exit(runExperiments(args))
 }
 
-// run holds the real main so deferred cleanups (profile flushes) execute
-// before the process exits with a status code.
-func run() int {
+// domain1DExperiments are the experiments whose grid honors the -n override;
+// the rest are 2D or sweep domains themselves, so a silently ignored -n
+// would mislead.
+var domain1DExperiments = map[string]bool{
+	"fig1a": true, "fig2a": true, "tab3a": true,
+	"find6": true, "find7": true, "find9": true,
+	"regret1d": true, "all": true,
+}
+
+// runExperiments holds the real main so deferred cleanups (profile flushes)
+// execute before the process exits with a status code.
+func runExperiments(args []string) int {
+	fs := flag.NewFlagSet("dpbench", flag.ExitOnError)
 	var (
-		experiment = flag.String("experiment", "fig1a", "which paper artifact to regenerate (or 'all')")
-		full       = flag.Bool("full", false, "run the paper's full grid instead of the quick one")
-		seed       = flag.Int64("seed", 20160626, "random seed")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the experiment grid (results are identical for any value)")
-		domain1D   = flag.Int("n", 0, "override the 1D domain size (0 = the grid's default; planned mechanisms scale to 2^20 bins)")
-		audit      = flag.Bool("audit", false, "verify the privacy-budget ledger after every trial (output is identical; fails fast on any budget-math bug)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		experiment = fs.String("experiment", "fig1a", "which paper artifact to regenerate (or 'all')")
+		full       = fs.Bool("full", false, "run the paper's full grid instead of the quick one")
+		seed       = fs.Int64("seed", 20160626, "random seed")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the experiment grid (results are identical for any value)")
+		domain1D   = fs.Int("n", 0, "override the 1D domain size (0 = the grid's default; planned mechanisms scale to 2^20 bins)")
+		audit      = fs.Bool("audit", false, "verify the privacy-budget ledger after every trial (output is identical; fails fast on any budget-math bug)")
+		list       = fs.Bool("list", false, "print the mechanism registry (name, dims, data dependence, composition) and exit")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
-	flag.Parse()
+	fs.Parse(args)
+
+	if *list {
+		printRegistry()
+		return 0
+	}
+
+	// Validate flag combinations up front with actionable messages rather
+	// than silently running something other than what was asked for.
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "-workers must be >= 1, got %d; omit the flag to use all %d cores\n", *workers, runtime.GOMAXPROCS(0))
+		return 2
+	}
+	if *domain1D < 0 {
+		fmt.Fprintf(os.Stderr, "-n must be positive, got %d\n", *domain1D)
+		return 2
+	}
+	if *domain1D > 0 && !domain1DExperiments[*experiment] {
+		honored := make([]string, 0, len(domain1DExperiments))
+		for name := range domain1DExperiments {
+			honored = append(honored, name)
+		}
+		sort.Strings(honored)
+		fmt.Fprintf(os.Stderr, "-n only affects 1D-grid experiments (%s); %q would silently ignore it\n",
+			strings.Join(honored, " "), *experiment)
+		return 2
+	}
+	if *cpuProfile != "" && *cpuProfile == *memProfile {
+		fmt.Fprintf(os.Stderr, "-cpuprofile and -memprofile point at the same file %q; the second write would clobber the first\n", *cpuProfile)
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -80,7 +143,11 @@ func run() int {
 		}()
 	}
 
-	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers, Audit: *audit, Domain1D: *domain1D}
+	// Ctrl-C cancels the grid between cells instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers, Audit: *audit, Domain1D: *domain1D, Ctx: ctx}
 
 	runners := map[string]func() error{
 		"fig1a":    func() error { _, err := experiments.Fig1a(opt); return err },
@@ -117,10 +184,116 @@ func run() int {
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
 		if err := runners[name](); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+				return 130
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			return 1
 		}
 		fmt.Printf("(%s completed in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// printRegistry renders the public mechanism registry (dpbench -list).
+func printRegistry() {
+	fmt.Printf("%-10s %-6s %-16s %s\n", "MECHANISM", "DIMS", "DATA-DEPENDENT", "COMPOSITION")
+	for _, info := range release.List() {
+		dims := make([]string, len(info.Dims))
+		for i, d := range info.Dims {
+			dims[i] = strconv.Itoa(d) + "D"
+		}
+		dep := "no"
+		if info.DataDependent {
+			dep = "yes"
+		}
+		fmt.Printf("%-10s %-6s %-16s %s\n", info.Name, strings.Join(dims, ","), dep, info.Composition)
+	}
+}
+
+// runServe starts the budget-metered DP query service (dpbench serve).
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("dpbench serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		datasets    = fs.String("datasets", "ADULT", "comma-separated benchmark datasets to register")
+		mechs       = fs.String("mechanisms", "IDENTITY,HB,DAWA", "comma-separated mechanisms to precompile")
+		epsList     = fs.String("eps", "0.05,0.1", "comma-separated per-query privacy budgets")
+		domain1D    = fs.Int("domain", 1024, "1D domain size")
+		side2D      = fs.Int("side", 64, "2D grid side")
+		scale       = fs.Int("scale", 100_000, "tuples drawn per dataset")
+		seed        = fs.Int64("seed", 20160626, "data-generator seed (noise streams are crypto-seeded)")
+		keyBudget   = fs.Float64("key-budget", 1.0, "total epsilon each API key may spend")
+		totalBudget = fs.Float64("total-budget", 0, "total epsilon spendable per dataset across all keys (0 = 10x key-budget)")
+		allowSeeded = fs.Bool("allow-seeded-queries", false, "accept client-pinned noise seeds (test/replay only: seeded releases are denoisable)")
+	)
+	fs.Parse(args)
+
+	epsilons, err := parseFloats(*epsList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-eps: %v\n", err)
+		return 2
+	}
+	srv, err := serve.New(serve.Config{
+		Datasets:           splitCSV(*datasets),
+		Mechanisms:         splitCSV(*mechs),
+		Epsilons:           epsilons,
+		Domain1D:           *domain1D,
+		Side2D:             *side2D,
+		Scale:              *scale,
+		Seed:               *seed,
+		KeyBudget:          *keyBudget,
+		TotalBudget:        *totalBudget,
+		AllowSeededQueries: *allowSeeded,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("dpbench serve: listening on %s (datasets=%s mechanisms=%s eps=%s key-budget=%g)\n",
+		*addr, *datasets, *mechs, *epsList, *keyBudget)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Println("serve: drained and stopped")
+		return 0
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitCSV(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -1,62 +1,74 @@
-// Package repro is a from-scratch Go reproduction of "Principled Evaluation
-// of Differentially Private Algorithms using DPBench" (Hay, Machanavajjhala,
-// Miklau, Chen, Zhang — SIGMOD 2016).
+// Package dpbench is a from-scratch Go reproduction of "Principled
+// Evaluation of Differentially Private Algorithms using DPBench" (Hay,
+// Machanavajjhala, Miklau, Chen, Zhang — SIGMOD 2016), promoted into an
+// importable library and a servable system.
 //
-// The library lives under internal/: the 17 mechanisms in internal/algo, the
-// DPBench framework in internal/core, the experiment harness in
-// internal/experiments, and the substrates (data vectors, noise primitives,
-// transforms, trees, workloads, datasets, statistics) in their own packages.
-// The cmd/dpbench binary regenerates every table and figure of the paper;
-// the root-level benchmarks (bench_test.go) expose the same experiments as
-// `go test -bench` targets, including serial-vs-parallel runner comparisons.
+// # Public surface
 //
-// The experiment grid runs on a bounded worker pool (core.RunParallel and
-// the parallel sweep in internal/experiments; -workers on the CLI) with a
-// hard determinism guarantee: every (sample, trial, algorithm) cell draws
-// from its own SplitMix64-derived RNG stream and writes into a pre-sized,
+// Three packages form the stable public API; everything under internal/ may
+// change at any time:
+//
+//   - dpbench (this package): the facade — Dataset, Histogram, Workload,
+//     Mechanism, Plan, Meter, Result, Config, the benchmark runners
+//     (Run / RunParallel, both context-aware) and the free-parameter
+//     trainers (TrainMWEM / TrainAHP).
+//   - dpbench/release: the mechanism registry (the paper's 17 release
+//     mechanisms by name), functional construction options, and the
+//     Plan/Execute machinery for amortized repeated trials.
+//   - dpbench/privacy: the budget accountant and metered noise source, with
+//     sentinel errors (ErrBudgetExhausted, ErrCompositionViolation) that
+//     every layer wraps with %w for errors.Is handling.
+//
+// The facade promotes the internal types by alias, so a public-API run is
+// bit-identical to the same cell run through the internal packages (pinned
+// by a golden test), and the exported surface of all three packages is
+// locked by TestAPILock against testdata/api_lock.golden. The examples/
+// programs are written exclusively against this surface.
+//
+// A minimal end-to-end release:
+//
+//	ds, _ := dpbench.OpenDataset("MEDCOST")
+//	x, _ := ds.Generate(rand.New(rand.NewSource(1)), 50_000, 1024)
+//	w := dpbench.Prefix(1024)
+//	m, _ := release.New("DAWA")
+//	est, _ := release.Run(m, x, w, 0.1, rand.New(rand.NewSource(7)))
+//
+// # The benchmark underneath
+//
+// internal/ holds the reproduction the facade exposes: the 17 mechanisms in
+// internal/algo, the DPBench framework in internal/core, the experiment
+// harness in internal/experiments, the HTTP query service in internal/serve,
+// and the substrates (data vectors, noise primitives, transforms, trees,
+// workloads, datasets, statistics) in their own packages. The cmd/dpbench
+// binary regenerates every table and figure of the paper and runs the
+// budget-metered query service (dpbench serve); the root-level benchmarks
+// (bench_test.go) expose the same experiments as `go test -bench` targets.
+//
+// The experiment grid runs on a bounded worker pool with a hard determinism
+// guarantee: every (sample, trial, mechanism) cell draws from its own
+// SplitMix64-derived RNG stream and writes into a pre-sized,
 // coordinate-indexed slot, so output is bit-identical for every worker
-// count, including the serial path.
+// count, including the serial path. Cancelling the context stops a grid
+// between cells without changing any value a completed run reports.
 //
-// Mechanism execution is split into Plan and Execute: Algorithm.Plan
-// prepares an executable release plan for one (data, workload, epsilon)
-// cell — all deterministic structure building (trees, transforms, layouts,
-// score tables, deviation tables) happens there, with no randomness and no
-// privacy cost — and Plan.Execute runs one independent trial through a
-// noise.Meter. Run is exactly Plan followed by one Execute, so both entry
-// points are bit-identical (a registry-wide property test enforces it).
-// Every plan is safe for concurrent Execute: the runners build one plan per
-// (sample, algorithm) and share it read-only across trials and workers,
-// while data-independent structures (interval trees, grids, quadtrees,
-// branching factors, Hilbert permutations, canonical workload weights) are
-// additionally cached process-wide. The flattened tree form
-// (internal/tree.Flat) keeps per-trial measurements in pooled scratch
-// outside the shared structure.
-//
-// The per-trial hot path is allocation-free: workload query bounds are
-// stored flat (struct-of-arrays) and answered through the reusable
-// workload.Evaluator; MWEM applies multiplicative-weight updates through a
-// lazy range-multiply segment tree (1D) with a deferred renormalization
-// scalar; DAWA's partition costs are tabulated once per plan (merged sorted
-// half-intervals for the dyadic set, a rank-indexed Fenwick scanner for the
-// unrestricted ablation) and only perturbed per trial; and the runners give
-// every worker a private scratch arena. Golden tests pin every optimized
-// path to the seed implementations. See README.md ("Performance").
+// Mechanism execution is split into Plan and Execute: Plan prepares an
+// executable release plan for one (data, workload, epsilon) cell — all
+// deterministic structure building happens there, with no randomness and no
+// privacy cost — and Execute runs one independent trial through a metered
+// noise source. Run is exactly Plan followed by one Execute, so both entry
+// points are bit-identical (a registry-wide property test enforces it), and
+// every plan is safe for concurrent Execute — which is what lets the serve
+// layer share one precompiled plan across all requests, and the runners
+// share one plan per (sample, mechanism) across trials and workers.
 //
 // Privacy-budget enforcement is machine-checked end to end. Every mechanism
-// draws all of its randomness through a noise.Meter — an accountant-backed
-// noise source constructed inside Run from (eps, rng) — and declares a
-// composition plan: the ledger labels it may emit and whether each composes
-// sequentially (spends add) or in parallel (spends over disjoint partitions
-// count their maximum once). In audit mode (core.Config.Audit, the trainer's
-// Audit field, experiments.Options.Audit, the CLI's -audit flag) every trial
-// runs through algo.ExecuteAudited (algo.RunAudited for one-shot callers),
-// which fails the run unless the ledger sums
-// to exactly the trial's epsilon (within 1e-9; under-spend fails too) and
-// stays inside the declared plan (the budget arithmetic is machine-checked;
-// the scale/spend calibration of each draw is stated at its draw site and
-// verified by inspection and the statistical tests). The meter wraps the
-// noise stream without reordering it, so audited output is bit-identical to
-// unaudited output —
-// and with audit off no accountant is attached, keeping the hot path
-// allocation-free. See README.md ("Budget metering and audit mode").
-package repro
+// draws all randomness through a privacy.Meter and declares a composition
+// plan (the ledger labels it may emit, each composing sequentially or in
+// parallel). In audit mode (Config.Audit, the CLI's -audit flag) every
+// trial fails unless its ledger sums to exactly the trial's epsilon and
+// stays inside the declared plan; audited output is bit-identical to
+// unaudited output, and with audit off no ledger exists and the hot path
+// stays allocation-free. The serve layer reuses the same accountant type
+// for its per-API-key budgets, refusing (HTTP 429) any query that would
+// overspend a key's epsilon. See README.md for the full walkthroughs.
+package dpbench

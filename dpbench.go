@@ -1,0 +1,129 @@
+package dpbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dpbench/internal/dataset"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
+	"dpbench/privacy"
+	"dpbench/release"
+)
+
+// The facade nouns. Histogram, Workload, Mechanism and Plan alias the types
+// declared in dpbench/release, and Meter aliases dpbench/privacy's, so every
+// layer of the public API — and the internal implementation underneath —
+// exchanges identical types with no conversions.
+
+// Histogram is a non-negative count vector over a 1D or 2D domain: the
+// private input x a mechanism releases an estimate of. Data holds the counts
+// in row-major order; Dims the domain shape.
+type Histogram = release.Histogram
+
+// Workload is a set of inclusive axis-aligned range queries over a fixed
+// domain — the analyst's question set W.
+type Workload = release.Workload
+
+// Mechanism is a differentially private data-release mechanism from the
+// dpbench/release registry.
+type Mechanism = release.Mechanism
+
+// Plan is a prepared, concurrency-safe release plan bound to one
+// (histogram, workload, epsilon) cell; see release.NewPlan.
+type Plan = release.Plan
+
+// Meter is the budget-metered noise source one trial executes against; see
+// privacy.NewMeter.
+type Meter = privacy.Meter
+
+// NewHistogram builds a histogram from row-major counts over the given
+// domain (one dim for 1D, two for 2D). The product of dims must equal
+// len(counts); the data is copied.
+func NewHistogram(counts []float64, dims ...int) (*Histogram, error) {
+	c := append([]float64(nil), counts...)
+	return vec.FromData(c, dims...)
+}
+
+// NewWorkload returns an empty named workload over the given domain; grow it
+// with AddRange (1D) or AddRect (2D).
+func NewWorkload(name string, dims ...int) *Workload {
+	return &workload.Workload{Name: name, Dims: append([]int(nil), dims...)}
+}
+
+// Prefix returns the 1D Prefix workload over domain size n: queries [0, i]
+// for every i. Any 1D range query is a difference of two prefix queries,
+// which is why the paper uses it as the canonical 1D workload.
+func Prefix(n int) *Workload { return workload.Prefix(n) }
+
+// Identity returns the workload of n point queries over a 1D domain.
+func Identity(n int) *Workload { return workload.Identity(n) }
+
+// AllRange returns all n*(n+1)/2 range queries over a 1D domain (intended
+// for small n).
+func AllRange(n int) *Workload { return workload.AllRange(n) }
+
+// RandomRange returns q uniformly random 1D range queries over domain n.
+func RandomRange(n, q int, rng *rand.Rand) *Workload { return workload.RandomRange(n, q, rng) }
+
+// RandomRange2D returns q uniformly random rectangle queries over an
+// nx x ny grid, the paper's 2D workload.
+func RandomRange2D(nx, ny, q int, rng *rand.Rand) *Workload {
+	return workload.RandomRange2D(nx, ny, q, rng)
+}
+
+// Dataset is one of the benchmark's 27 source datasets (Table 2 of the
+// paper): a deterministic shape plus the DPBench generator G that resamples
+// it at any requested scale and domain size.
+type Dataset struct {
+	d dataset.Dataset
+}
+
+// OpenDataset returns the named benchmark dataset, e.g. "ADULT" (1D) or
+// "GOWALLA" (2D).
+func OpenDataset(name string) (Dataset, error) {
+	d, err := dataset.ByName(name)
+	if err != nil {
+		return Dataset{}, err
+	}
+	return Dataset{d: d}, nil
+}
+
+// Datasets1D returns the 18 one-dimensional benchmark datasets.
+func Datasets1D() []Dataset { return wrapDatasets(dataset.Registry1D()) }
+
+// Datasets2D returns the 9 two-dimensional benchmark datasets.
+func Datasets2D() []Dataset { return wrapDatasets(dataset.Registry2D()) }
+
+func wrapDatasets(ds []dataset.Dataset) []Dataset {
+	out := make([]Dataset, len(ds))
+	for i, d := range ds {
+		out[i] = Dataset{d: d}
+	}
+	return out
+}
+
+// Name returns the paper's dataset identifier.
+func (d Dataset) Name() string { return d.d.Name }
+
+// Dim returns the dataset's dimensionality (1 or 2).
+func (d Dataset) Dim() int { return d.d.Dim }
+
+// OriginalScale returns the source dataset's tuple count from Table 2.
+func (d Dataset) OriginalScale() float64 { return d.d.OriginalScale }
+
+// Shape returns the dataset's normalized shape vector (sums to 1) coarsened
+// to the requested domain; dims must evenly divide the maximum domain
+// (4096 for 1D, 256x256 for 2D).
+func (d Dataset) Shape(dims ...int) (*Histogram, error) { return d.d.Shape(dims...) }
+
+// Generate is the DPBench data generator G: it resamples the dataset's
+// shape on the requested domain, drawing scale tuples with replacement on
+// the given RNG stream, and returns a histogram with integral counts
+// summing exactly to scale.
+func (d Dataset) Generate(rng *rand.Rand, scale int, dims ...int) (*Histogram, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("dpbench: Generate needs a non-nil rng (seed one with rand.New)")
+	}
+	return d.d.Generate(rng, scale, dims...)
+}

@@ -1,0 +1,149 @@
+package dpbench_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dpbench/internal/algo"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
+	"dpbench/privacy"
+	"dpbench/release"
+)
+
+// misbehavingMechanism is a test double whose Execute misbudgets in a
+// configurable way, so the tests can prove the error-hygiene sweep: every
+// layer between the accountant and the public entry points wraps with %w,
+// and the privacy sentinels survive the whole chain.
+type misbehavingMechanism struct {
+	// mode selects the defect: "overspend" draws more than the budget,
+	// "underspend" leaves budget on the table, "undeclared" spends the
+	// full budget under a label outside the declared composition plan.
+	mode string
+}
+
+func (m *misbehavingMechanism) Name() string        { return "MISBEHAVING-" + m.mode }
+func (m *misbehavingMechanism) Supports(k int) bool { return k == 1 }
+func (m *misbehavingMechanism) DataDependent() bool { return false }
+
+func (m *misbehavingMechanism) Run(x *vec.Vector, w *workload.Workload, eps float64, rng *rand.Rand) ([]float64, error) {
+	p, err := m.Plan(x, w, eps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, x.N())
+	if err := p.Execute(noise.NewMeter(eps, rng), out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (m *misbehavingMechanism) Plan(x *vec.Vector, w *workload.Workload, eps float64) (algo.Plan, error) {
+	return &misbehavingPlan{mode: m.mode, eps: eps}, nil
+}
+
+func (m *misbehavingMechanism) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "counts", Kind: noise.Sequential}}
+}
+
+type misbehavingPlan struct {
+	mode string
+	eps  float64
+}
+
+func (p *misbehavingPlan) Execute(m *noise.Meter, out []float64) error {
+	switch p.mode {
+	case "overspend":
+		// Two full-budget draws: the second charge exceeds the total.
+		out[0] = m.Laplace("counts", 1/p.eps, p.eps)
+		out[0] += m.Laplace("counts", 1/p.eps, p.eps)
+	case "underspend":
+		out[0] = m.Laplace("counts", 2/p.eps, p.eps/2)
+	case "undeclared":
+		out[0] = m.Laplace("shadow", 1/p.eps, p.eps)
+	}
+	return m.Err()
+}
+
+// TestBudgetSentinelSurvivesRunAudited is the error-hygiene satellite's
+// acceptance test: an overspending mechanism run through the audited entry
+// points fails with an error chain that errors.Is-matches
+// privacy.ErrBudgetExhausted — from the internal accountant, through the
+// meter's sticky error, the audit wrapper, and the public release facade.
+func TestBudgetSentinelSurvivesRunAudited(t *testing.T) {
+	x := vec.New(8)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	w := workload.Prefix(8)
+
+	over := &misbehavingMechanism{mode: "overspend"}
+	_, err := algo.RunAudited(over, x, w, 0.1, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("RunAudited accepted an overspending mechanism")
+	}
+	if !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Errorf("internal RunAudited error chain lost ErrBudgetExhausted: %v", err)
+	}
+
+	// The same chain through the public facade.
+	_, err = release.RunAudited(over, x, w, 0.1, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Errorf("release.RunAudited error chain lost ErrBudgetExhausted: %v", err)
+	}
+}
+
+// TestCompositionSentinelSurvivesRunAudited covers the second sentinel: both
+// an under-spend (ledger sums below eps) and a spend under an undeclared
+// label must surface as privacy.ErrCompositionViolation through the public
+// audited entry point.
+func TestCompositionSentinelSurvivesRunAudited(t *testing.T) {
+	x := vec.New(8)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	w := workload.Prefix(8)
+
+	for _, mode := range []string{"underspend", "undeclared"} {
+		t.Run(mode, func(t *testing.T) {
+			_, err := release.RunAudited(&misbehavingMechanism{mode: mode}, x, w, 0.1, rand.New(rand.NewSource(1)))
+			if err == nil {
+				t.Fatalf("RunAudited accepted a %s mechanism", mode)
+			}
+			if !errors.Is(err, privacy.ErrCompositionViolation) {
+				t.Errorf("error chain lost ErrCompositionViolation: %v", err)
+			}
+		})
+	}
+}
+
+// TestUnknownMechanismSentinel pins the registry sentinel the serving layer
+// maps to 404.
+func TestUnknownMechanismSentinel(t *testing.T) {
+	if _, err := release.New("NO-SUCH-MECHANISM"); !errors.Is(err, release.ErrUnknownMechanism) {
+		t.Errorf("release.New error chain lost ErrUnknownMechanism: %v", err)
+	}
+}
+
+// TestOptionMisuseFailsLoudly pins the functional-options contract: an
+// option applied to a mechanism it does not configure is a constructor
+// error, not a silent default.
+func TestOptionMisuseFailsLoudly(t *testing.T) {
+	if _, err := release.New("IDENTITY", release.WithMWEMRounds(5)); err == nil {
+		t.Error("WithMWEMRounds on IDENTITY should fail")
+	}
+	if _, err := release.New("IDENTITY", release.WithSideInfoRepair(0.05)); err == nil {
+		t.Error("WithSideInfoRepair on IDENTITY (no side info) should fail")
+	}
+	if _, err := release.New("MWEM", release.WithMWEMRounds(-1)); err == nil {
+		t.Error("non-positive MWEM rounds should fail")
+	}
+	if _, err := release.New("MWEM", release.WithSideInfoRepair(0.05)); err != nil {
+		t.Errorf("WithSideInfoRepair on MWEM should apply: %v", err)
+	}
+	if _, err := release.New("AHP", release.WithAHPParams(0.3, 0.2)); err != nil {
+		t.Errorf("WithAHPParams on AHP should apply: %v", err)
+	}
+}

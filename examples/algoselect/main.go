@@ -9,19 +9,18 @@
 // data-dependent algorithms dominate at low signal, data-independent ones at
 // high signal, and the crossover is where algorithm selection gets hard.
 //
-// It also demonstrates the framework's repair functions: free parameters are
-// set via the trained profiles (MWEM* vs MWEM), and side information is
-// removed via RepairSideInfo.
+// It also demonstrates the framework's repair functions through the public
+// API: free parameters come from the trained profiles (MWEM* vs MWEM), and
+// side information is removed via dpbench.RepairSideInfo.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench"
+	"dpbench/release"
 )
 
 func main() {
@@ -29,32 +28,33 @@ func main() {
 		domain = 512
 		eps    = 0.1
 	)
-	w := workload.Prefix(domain)
+	ctx := context.Background()
+	w := dpbench.Prefix(domain)
 
 	// A sparse, spiky shape (favors data-dependent mechanisms) and a dense,
 	// noisy-uniform one (favors data-independent mechanisms).
 	for _, dsName := range []string{"TRACE", "BIDS-ALL"} {
-		ds, err := dataset.ByName(dsName)
+		ds, err := dpbench.OpenDataset(dsName)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n=== dataset %s ===\n", dsName)
 		for _, scale := range []int{1_000, 100_000, 10_000_000} {
 			signal := eps * float64(scale)
-			algos := mustAlgos("IDENTITY", "HB", "DAWA", "MWEM*", "AHP*", "UNIFORM")
+			mechs := mustMechs("IDENTITY", "HB", "DAWA", "MWEM*", "AHP*", "UNIFORM")
 			// Principle 7: no mechanism may consume the true scale as free
 			// side information; spend 5% of budget estimating it instead.
-			core.RepairSideInfo(algos, 0.05)
-			cfg := core.Config{
-				Dataset: ds, Dims: []int{domain}, Scale: scale, Eps: eps,
-				Workload: w, Algorithms: algos,
+			dpbench.RepairSideInfo(mechs, 0.05)
+			cfg := dpbench.Config{
+				Dataset: ds, Dims: []int{domain}, Scale: scale, Epsilon: eps,
+				Workload: w, Mechanisms: mechs,
 				DataSamples: 2, Trials: 3, Seed: 7,
 			}
-			results, err := core.Run(cfg)
+			results, err := dpbench.Run(ctx, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
-			best := core.BestByMean(results)
+			best := dpbench.BestByMean(results)
 			regime := "low signal -> expect data-dependent winners"
 			if signal >= 1e4 {
 				regime = "high signal -> expect data-independent winners"
@@ -75,14 +75,14 @@ func main() {
 	fmt.Println("the caveat that its error varies with shape and has no public bound.")
 }
 
-func mustAlgos(names ...string) []algo.Algorithm {
-	out := make([]algo.Algorithm, 0, len(names))
+func mustMechs(names ...string) []dpbench.Mechanism {
+	out := make([]dpbench.Mechanism, 0, len(names))
 	for _, n := range names {
-		a, err := algo.New(n)
+		m, err := release.New(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		out = append(out, a)
+		out = append(out, m)
 	}
 	return out
 }

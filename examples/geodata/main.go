@@ -10,14 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench"
+	"dpbench/release"
 )
 
 func main() {
@@ -28,46 +27,47 @@ func main() {
 		tries = 3
 	)
 
-	w := workload.RandomRange2D(side, side, q, rand.New(rand.NewSource(2)))
+	ctx := context.Background()
+	w := dpbench.RandomRange2D(side, side, q, rand.New(rand.NewSource(2)))
 
 	for _, dsName := range []string{"BJ-CABS-S", "SF-CABS-E"} {
-		ds, err := dataset.ByName(dsName)
+		ds, err := dpbench.OpenDataset(dsName)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, scale := range []int{10_000, 1_000_000} {
 			fmt.Printf("\n%s at scale %d (eps=%g, %d random rectangles)\n", dsName, scale, eps, q)
-			cfg := core.Config{
+			cfg := dpbench.Config{
 				Dataset:     ds,
 				Dims:        []int{side, side},
 				Scale:       scale,
-				Eps:         eps,
+				Epsilon:     eps,
 				Workload:    w,
-				Algorithms:  mustAlgos("IDENTITY", "UNIFORM", "UGRID", "AGRID", "QUADTREE", "DAWA", "HB"),
+				Mechanisms:  mustMechs("IDENTITY", "UNIFORM", "UGRID", "AGRID", "QUADTREE", "DAWA", "HB"),
 				DataSamples: 2,
 				Trials:      tries,
 				Seed:        42,
 			}
-			results, err := core.Run(cfg)
+			results, err := dpbench.Run(ctx, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 			for _, r := range results {
 				fmt.Printf("  %-9s mean %.3g   p95 %.3g\n", r.Name, r.MeanError(), r.P95Error())
 			}
-			fmt.Printf("  competitive: %v\n", core.CompetitiveSet(results, 0.05))
+			fmt.Printf("  competitive: %v\n", dpbench.CompetitiveSet(results, 0.05))
 		}
 	}
 }
 
-func mustAlgos(names ...string) []algo.Algorithm {
-	out := make([]algo.Algorithm, 0, len(names))
+func mustMechs(names ...string) []dpbench.Mechanism {
+	out := make([]dpbench.Mechanism, 0, len(names))
 	for _, n := range names {
-		a, err := algo.New(n)
+		m, err := release.New(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		out = append(out, a)
+		out = append(out, m)
 	}
 	return out
 }

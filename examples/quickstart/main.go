@@ -1,5 +1,5 @@
 // Quickstart: release a differentially private histogram and answer range
-// queries with it.
+// queries with it — through dpbench's public API only.
 //
 // A data owner holds a histogram of 50,000 records over a 1024-cell domain
 // and wants to publish range-query answers under epsilon-differential
@@ -7,6 +7,10 @@
 // hierarchical Hb, and the data-aware DAWA — and compares their scaled
 // per-query error on the Prefix workload, illustrating the benchmark's core
 // loop: generate data, run a mechanism, measure scaled error.
+//
+// Everything here imports dpbench and dpbench/release; a golden test pins
+// this public-API path bit-identical to the same cell run through the
+// internal packages.
 package main
 
 import (
@@ -14,10 +18,8 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench"
+	"dpbench/release"
 )
 
 func main() {
@@ -29,7 +31,7 @@ func main() {
 
 	// 1. Draw a dataset from the benchmark's generator: the MEDCOST shape
 	//    (a skewed medical-cost histogram) resampled to 50,000 tuples.
-	ds, err := dataset.ByName("MEDCOST")
+	ds, err := dpbench.OpenDataset("MEDCOST")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,10 +41,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("dataset %s: %d cells, %.0f tuples, %.1f%% empty cells\n",
-		ds.Name, x.N(), x.Scale(), 100*x.ZeroFraction())
+		ds.Name(), x.N(), x.Scale(), 100*x.ZeroFraction())
 
 	// 2. The analyst's workload: all prefix range queries.
-	w := workload.Prefix(domain)
+	w := dpbench.Prefix(domain)
 	trueAns, err := w.Evaluate(x)
 	if err != nil {
 		log.Fatal(err)
@@ -50,16 +52,16 @@ func main() {
 
 	// 3. Run three mechanisms at the same privacy budget.
 	for _, name := range []string{"IDENTITY", "HB", "DAWA"} {
-		a, err := algo.New(name)
+		m, err := release.New(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := a.Run(x, w, eps, rand.New(rand.NewSource(7)))
+		est, err := release.Run(m, x, w, eps, rand.New(rand.NewSource(7)))
 		if err != nil {
 			log.Fatal(err)
 		}
 		estAns := w.EvaluateFlat(est)
-		errVal := core.ScaledError(core.L2Loss(estAns, trueAns), x.Scale(), w.Size())
+		errVal := dpbench.ScaledError(dpbench.L2Loss(estAns, trueAns), x.Scale(), w.Size())
 		fmt.Printf("%-9s scaled per-query error: %.3g\n", name, errVal)
 
 		// Answer one concrete question privately: how many records fall in

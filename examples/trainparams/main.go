@@ -5,52 +5,61 @@
 // trains a data-independent profile on synthetic shapes: for each signal
 // level eps*scale it grid-searches candidate settings on power-law and
 // normal distributions and records the winner. This example runs the actual
-// trainer for MWEM's round count T, prints the learned profile, and then
-// shows the payoff of Finding 7 — the trained MWEM* beating static-T MWEM at
-// high signal on a dataset the trainer never saw.
+// trainer for MWEM's round count T through the public API
+// (dpbench.TrainMWEM + release.WithMWEMProfile), prints the learned
+// profile, and then shows the payoff of Finding 7 — the trained MWEM*
+// beating static-T MWEM at high signal on a dataset the trainer never saw.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench"
+	"dpbench/release"
 )
 
 func main() {
 	const domain = 256
+	ctx := context.Background()
 
 	// 1. Train T on synthetic shapes (never on evaluation data).
-	products := []float64{1e2, 1e3, 1e4, 1e5}
+	signals := []float64{1e2, 1e3, 1e4, 1e5}
 	fmt.Println("training MWEM round count T on synthetic power-law/normal shapes...")
-	profile, err := core.TrainMWEM(domain, products, 2, 1)
+	profile, err := dpbench.TrainMWEM(ctx, domain, signals, 2, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("learned profile (signal eps*scale -> T):")
-	for _, p := range products {
-		fmt.Printf("  %-8g -> T=%d\n", p, profile(p))
+	for _, s := range signals {
+		fmt.Printf("  %-8g -> T=%d\n", s, profile(s))
 	}
 
 	// 2. Evaluate static MWEM against the trained variant on a held-out
 	//    dataset (TRACE) at a strong signal, where Finding 7 reports the
 	//    big wins for MWEM*.
-	ds, err := dataset.ByName("TRACE")
+	static, err := release.New("MWEM",
+		release.WithMWEMRounds(10), release.WithMWEMUpdateSweeps(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	static := &algo.MWEM{T: 10, UpdateSweeps: 2}
-	trained := &algo.MWEM{TFromSignal: profile, UpdateSweeps: 2}
-	cfg := core.Config{
-		Dataset: ds, Dims: []int{domain}, Scale: 1_000_000, Eps: 0.1,
-		Workload:    workload.Prefix(domain),
-		Algorithms:  []algo.Algorithm{static, trained},
+	trained, err := release.New("MWEM",
+		release.WithMWEMProfile(profile), release.WithMWEMUpdateSweeps(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dpbench.OpenDataset("TRACE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dpbench.Config{
+		Dataset: ds, Dims: []int{domain}, Scale: 1_000_000, Epsilon: 0.1,
+		Workload:    dpbench.Prefix(domain),
+		Mechanisms:  []dpbench.Mechanism{static, trained},
 		DataSamples: 2, Trials: 3, Seed: 99,
 	}
-	results, err := core.Run(cfg)
+	results, err := dpbench.Run(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

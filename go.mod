@@ -1,3 +1,3 @@
-module repro
+module dpbench
 
 go 1.24

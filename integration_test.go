@@ -1,13 +1,14 @@
-package repro
+package dpbench
 
 import (
+	"context"
 	"math"
 	"testing"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/core"
+	"dpbench/internal/dataset"
+	"dpbench/internal/workload"
 )
 
 // End-to-end integration tests: the full DPBench pipeline — registry ->
@@ -31,7 +32,7 @@ func TestEndToEnd1DPipeline(t *testing.T) {
 		Trials:      2,
 		Seed:        123,
 	}
-	results, err := core.Run(cfg)
+	results, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestEndToEnd2DPipeline(t *testing.T) {
 		Trials:      2,
 		Seed:        321,
 	}
-	results, err := core.Run(cfg)
+	results, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestHeadlineFindingScaleCrossover(t *testing.T) {
 			Workload: w, Algorithms: algos,
 			DataSamples: 2, Trials: 4, Seed: 777,
 		}
-		results, err := core.Run(cfg)
+		results, err := core.Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestHeadlineFindingBaselinesMatter(t *testing.T) {
 		Algorithms:  []algo.Algorithm{mustNew(t, "IDENTITY"), mustNew(t, "MWEM")},
 		DataSamples: 2, Trials: 3, Seed: 888,
 	}
-	results, err := core.Run(cfg)
+	results, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestSelectorAgreesWithMeasurement(t *testing.T) {
 		Workload: workload.Prefix(256), Algorithms: algos,
 		DataSamples: 1, Trials: 3, Seed: 999,
 	}
-	results, err := core.Run(cfg)
+	results, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

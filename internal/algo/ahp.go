@@ -6,9 +6,9 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // AHP is the adaptive histogram publication algorithm of Zhang et al.

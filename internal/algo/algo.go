@@ -7,13 +7,14 @@
 package algo
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Algorithm is a differentially private data-release mechanism.
@@ -83,6 +84,11 @@ type SideInfoUser interface {
 	SetScaleEstimator(rho float64)
 }
 
+// ErrUnknownAlgorithm marks a registry lookup for a name that is not
+// registered. The public dpbench/release package re-exports it and the
+// serving layer maps it to HTTP 404.
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
+
 // registry maps names to constructors for the default configurations.
 var registry = map[string]func() Algorithm{}
 
@@ -100,7 +106,7 @@ func Register(name string, fn func() Algorithm) {
 func New(name string) (Algorithm, error) {
 	fn, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("algo: unknown algorithm %q", name)
+		return nil, fmt.Errorf("algo: %w: %q", ErrUnknownAlgorithm, name)
 	}
 	return fn(), nil
 }

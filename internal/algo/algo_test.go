@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // table1Names is the full algorithm roster from Table 1 of the paper (plus

@@ -6,10 +6,10 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/noise"
-	"repro/internal/transform"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/transform"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // These are the enforcement tests for the budget-ledger subsystem: every

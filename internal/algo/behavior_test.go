@@ -5,10 +5,10 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/noise"
-	"repro/internal/stats"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/stats"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 func TestIdentityIsUnbiased(t *testing.T) {

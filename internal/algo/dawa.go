@@ -8,10 +8,10 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/tree"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/tree"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // DAWA is the data- and workload-aware algorithm of Li, Hay and Miklau

@@ -4,9 +4,9 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // DPCube is the multidimensional partitioning algorithm of Xiao et al.

@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Degenerate-input and failure-injection tests: empty databases, single-cell

@@ -7,10 +7,10 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/transform"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/transform"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // EFPA is the enhanced Fourier perturbation algorithm of Acs, Castelluccia

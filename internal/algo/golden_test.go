@@ -6,10 +6,10 @@ import (
 	"sort"
 	"testing"
 
-	"repro/internal/noise"
-	"repro/internal/transform"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/transform"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // This file pins the optimized MWEM and DAWA hot paths to the seed

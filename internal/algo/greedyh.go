@@ -6,10 +6,10 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/tree"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/tree"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // GreedyH is the workload-aware hierarchical mechanism introduced as the

@@ -6,9 +6,9 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // UGrid is the uniform grid method of Qardaji, Yang and Li (ICDE 2013): it

@@ -5,10 +5,10 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/noise"
-	"repro/internal/tree"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/tree"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // H is the hierarchical mechanism of Hay et al. (PVLDB 2010): a binary tree

@@ -3,9 +3,9 @@ package algo
 import (
 	"math/rand"
 
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Identity is the data-independent baseline: independent Laplace(1/eps) noise

@@ -5,11 +5,11 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/transform"
-	"repro/internal/tree"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/transform"
+	"dpbench/internal/tree"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Plan is a prepared release plan bound to one (x, w, eps) experiment cell,

@@ -5,9 +5,9 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // These are the enforcement tests for the Plan/Execute split: for EVERY

@@ -5,10 +5,10 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/transform"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/transform"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Privelet is the wavelet mechanism of Xiao, Wang and Gehrke (ICDE 2010): it

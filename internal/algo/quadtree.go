@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/noise"
-	"repro/internal/tree"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/noise"
+	"dpbench/internal/tree"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // QuadTree is the fixed-structure spatial decomposition of Cormode et al.

@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Tests for the 2D code paths of the multi-dimensional mechanisms, which the

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"testing"
 
-	"repro/internal/algo"
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/dataset"
+	"dpbench/internal/workload"
 )
 
 func auditConfig(t *testing.T, audit bool) Config {
@@ -33,15 +34,15 @@ func auditConfig(t *testing.T, audit bool) Config {
 // scaled error is bit-identical to the unaudited run — across the full 1D
 // roster, serially and in parallel.
 func TestRunAuditModeMatchesPlainRun(t *testing.T) {
-	plain, err := Run(auditConfig(t, false))
+	plain, err := Run(context.Background(), auditConfig(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	audited, err := Run(auditConfig(t, true))
+	audited, err := Run(context.Background(), auditConfig(t, true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunParallel(auditConfig(t, true), 4)
+	par, err := RunParallel(context.Background(), auditConfig(t, true), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestTrainerAuditMode(t *testing.T) {
 		Seed:     5,
 		Audit:    true,
 	}
-	if _, err := tr.Train(); err != nil {
+	if _, err := tr.Train(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

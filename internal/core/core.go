@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/algo"
-	"repro/internal/dataset"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/dataset"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Benchmark is the 9-tuple of Section 5. The task-specific components are

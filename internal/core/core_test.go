@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
-	"repro/internal/algo"
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/dataset"
+	"dpbench/internal/workload"
 )
 
 func TestScaledError(t *testing.T) {
@@ -113,7 +114,7 @@ func TestRunProducesAllObservations(t *testing.T) {
 		Trials:      3,
 		Seed:        1,
 	}
-	results, err := Run(cfg)
+	results, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +146,11 @@ func TestRunDeterministic(t *testing.T) {
 			Seed:       99,
 		}
 	}
-	r1, err := Run(mk())
+	r1, err := Run(context.Background(), mk())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(mk())
+	r2, err := Run(context.Background(), mk())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,13 +163,13 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunConfigValidation(t *testing.T) {
 	d, _ := dataset.ByName("ADULT")
-	if _, err := Run(Config{Dataset: d}); err == nil {
+	if _, err := Run(context.Background(), Config{Dataset: d}); err == nil {
 		t.Fatal("expected error for missing workload")
 	}
-	if _, err := Run(Config{Dataset: d, Workload: workload.Prefix(4)}); err == nil {
+	if _, err := Run(context.Background(), Config{Dataset: d, Workload: workload.Prefix(4)}); err == nil {
 		t.Fatal("expected error for missing algorithms")
 	}
-	if _, err := Run(Config{Dataset: d, Workload: workload.Prefix(4), Algorithms: []algo.Algorithm{mustAlgo(t, "IDENTITY")}}); err == nil {
+	if _, err := Run(context.Background(), Config{Dataset: d, Workload: workload.Prefix(4), Algorithms: []algo.Algorithm{mustAlgo(t, "IDENTITY")}}); err == nil {
 		t.Fatal("expected error for zero scale")
 	}
 }

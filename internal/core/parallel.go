@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
-	"repro/internal/algo"
-	"repro/internal/vec"
+	"dpbench/internal/algo"
+	"dpbench/internal/vec"
 )
 
 // vecWithAnswers pairs one generated data sample with its true workload
@@ -26,11 +27,21 @@ func ParallelFor(workers, n int, fn func(i int) error) error {
 	return ParallelForWorkers(workers, n, func(_, i int) error { return fn(i) })
 }
 
+// ParallelForCtx is ParallelFor with cancellation: once ctx is done, no new
+// indices are dispatched (in-flight calls finish) and ctx.Err() is returned.
+func ParallelForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return parallelForWorkers(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
 // ParallelForWorkers is ParallelFor with the executing worker's index (in
 // [0, workers)) passed to fn, so callers can hand each worker a private
 // scratch arena instead of contending on a shared pool. The inline
 // single-worker path always reports worker 0.
 func ParallelForWorkers(workers, n int, fn func(worker, i int) error) error {
+	return parallelForWorkers(context.Background(), workers, n, fn)
+}
+
+func parallelForWorkers(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -39,6 +50,9 @@ func ParallelForWorkers(workers, n int, fn func(worker, i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(0, i); err != nil {
 				return err
 			}
@@ -74,9 +88,19 @@ func ParallelForWorkers(workers, n int, fn func(worker, i int) error) error {
 	go func() {
 		defer close(tasks)
 		for i := 0; i < n; i++ {
+			// Checked before the select: when both a worker and ctx.Done()
+			// are ready, select picks randomly, so a pre-cancelled context
+			// could otherwise still dispatch work.
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
 			select {
 			case tasks <- i:
 			case <-done:
+				return
+			case <-ctx.Done():
+				fail(ctx.Err())
 				return
 			}
 		}
@@ -96,8 +120,9 @@ func ParallelForWorkers(workers, n int, fn func(worker, i int) error) error {
 // scratch arena (workload evaluator, answer and estimate buffers), so cells
 // never contend on shared pools; the per-sample plans are built once and
 // shared read-only by every worker (plan Executes are concurrency-safe).
-// The first cell error cancels the remaining work and is propagated.
-func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
+// The first cell error cancels the remaining work and is propagated, and a
+// cancelled ctx stops dispatch of not-yet-started cells the same way.
+func RunParallel(ctx context.Context, cfg Config, workers int) ([]AlgResult, error) {
 	if workers <= 0 {
 		workers = cfg.Parallelism
 	}
@@ -105,7 +130,7 @@ func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 {
-		return Run(cfg)
+		return Run(ctx, cfg)
 	}
 	p, err := cfg.plan()
 	if err != nil {
@@ -115,7 +140,7 @@ func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
 	// Phase 1: draw every data sample concurrently; each sample has its own
 	// generator stream, so sample s's vector is independent of who builds it.
 	xs := make([]*vecWithAnswers, p.samples)
-	err = ParallelFor(workers, p.samples, func(s int) error {
+	err = ParallelForCtx(ctx, workers, p.samples, func(s int) error {
 		x, trueAns, err := generateSample(cfg, s)
 		if err != nil {
 			return err
@@ -134,7 +159,7 @@ func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
 	for s := range plans {
 		plans[s] = make([]algo.Plan, nalgs)
 	}
-	err = ParallelFor(workers, p.samples*nalgs, func(c int) error {
+	err = ParallelForCtx(ctx, workers, p.samples*nalgs, func(c int) error {
 		s, i := c/nalgs, c%nalgs
 		pl, err := cfg.Algorithms[i].Plan(xs[s].x, cfg.Workload, cfg.Eps)
 		if err != nil {
@@ -155,7 +180,7 @@ func RunParallel(cfg Config, workers int) ([]AlgResult, error) {
 	results := newResults(cfg, p)
 	arenas := make([]*evalScratch, workers)
 	perSample := p.trials * nalgs
-	err = ParallelForWorkers(workers, p.samples*perSample, func(worker, c int) error {
+	err = parallelForWorkers(ctx, workers, p.samples*perSample, func(worker, c int) error {
 		s := c / perSample
 		t := (c % perSample) / nalgs
 		i := c % nalgs

@@ -1,17 +1,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/algo"
-	"repro/internal/dataset"
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/dataset"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 func parallelTestConfig(t *testing.T) Config {
@@ -38,12 +39,12 @@ func parallelTestConfig(t *testing.T) Config {
 // count, because both draw every (sample, trial, algorithm) cell from the
 // same deriveSeed stream and write into position-fixed slots.
 func TestRunParallelMatchesSerial(t *testing.T) {
-	serial, err := Run(parallelTestConfig(t))
+	serial, err := Run(context.Background(), parallelTestConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 8} {
-		par, err := RunParallel(parallelTestConfig(t), workers)
+		par, err := RunParallel(context.Background(), parallelTestConfig(t), workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -72,11 +73,11 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 func TestRunParallelUsesConfigParallelism(t *testing.T) {
 	cfg := parallelTestConfig(t)
 	cfg.Parallelism = 2
-	par, err := RunParallel(cfg, 0)
+	par, err := RunParallel(context.Background(), cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Run(parallelTestConfig(t))
+	serial, err := Run(context.Background(), parallelTestConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestRunParallelPropagatesError(t *testing.T) {
 		cfg.Algorithms = []algo.Algorithm{mustAlgo(t, "IDENTITY"), &failingAlgo{allow: 2}}
 		cfg.DataSamples = 4
 		cfg.Trials = 8
-		_, err := RunParallel(cfg, workers)
+		_, err := RunParallel(context.Background(), cfg, workers)
 		if err == nil {
 			t.Fatalf("workers=%d: expected error from failing algorithm", workers)
 		}
@@ -143,10 +144,10 @@ func TestRunParallelPropagatesError(t *testing.T) {
 // as the serial one.
 func TestRunParallelValidation(t *testing.T) {
 	d, _ := dataset.ByName("ADULT")
-	if _, err := RunParallel(Config{Dataset: d}, 4); err == nil {
+	if _, err := RunParallel(context.Background(), Config{Dataset: d}, 4); err == nil {
 		t.Fatal("expected error for missing workload")
 	}
-	if _, err := RunParallel(Config{Dataset: d, Workload: workload.Prefix(4)}, 4); err == nil {
+	if _, err := RunParallel(context.Background(), Config{Dataset: d, Workload: workload.Prefix(4)}, 4); err == nil {
 		t.Fatal("expected error for missing algorithms")
 	}
 }

@@ -3,11 +3,11 @@ package core
 import (
 	"math"
 
-	"repro/internal/algo"
-	"repro/internal/noise"
-	"repro/internal/stats"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/noise"
+	"dpbench/internal/stats"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // ExchangeabilityResult reports one scale-epsilon exchangeability check

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
-	"repro/internal/algo"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // skewedShape returns a normalized heavy-head shape over n cells.
@@ -183,7 +184,7 @@ func TestTrainingShapes(t *testing.T) {
 
 func TestTrainerRejectsEmptyConfig(t *testing.T) {
 	tr := &Trainer{}
-	if _, err := tr.Train(); err == nil {
+	if _, err := tr.Train(context.Background()); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -191,7 +192,7 @@ func TestTrainerRejectsEmptyConfig(t *testing.T) {
 func TestTrainMWEMLearnsIncreasingT(t *testing.T) {
 	// The trained profile should give small T at weak signal and larger T
 	// at strong signal — the mechanism behind Finding 7.
-	profile, err := TrainMWEM(64, []float64{1e2, 1e5}, 1, 23)
+	profile, err := TrainMWEM(context.Background(), 64, []float64{1e2, 1e5}, 1, 23)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestTrainMWEMLearnsIncreasingT(t *testing.T) {
 }
 
 func TestTrainAHPReturnsValidParams(t *testing.T) {
-	profile, err := TrainAHP(64, []float64{1e3}, 1, 29)
+	profile, err := TrainAHP(context.Background(), 64, []float64{1e3}, 1, 29)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,16 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
-	"repro/internal/algo"
-	"repro/internal/dataset"
-	"repro/internal/noise"
-	"repro/internal/stats"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/dataset"
+	"dpbench/internal/noise"
+	"dpbench/internal/stats"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Config describes one experimental setting: a (dataset, domain, scale,
@@ -68,8 +69,8 @@ func (r AlgResult) MeanError() float64 { return stats.Mean(r.Errors) }
 func (r AlgResult) P95Error() float64 { return stats.Percentile(r.Errors, 95) }
 
 // newRNG builds a deterministic RNG whose stream identity is the full 64-bit
-// seed (see splitMix64Source).
-func newRNG(seed int64) *rand.Rand { return rand.New(&splitMix64Source{state: uint64(seed)}) }
+// seed (noise.NewRand's SplitMix64 source).
+func newRNG(seed int64) *rand.Rand { return noise.NewRand(uint64(seed)) }
 
 // runPlan is a Config with defaults applied, shared by Run and RunParallel so
 // both paths execute exactly the same cells.
@@ -203,7 +204,12 @@ func runCell(cfg Config, p runPlan, plan algo.Plan, x *vec.Vector, trueAns []flo
 // randomness. Each (sample, algorithm) pair is planned once and the plan is
 // executed across all trials, so structure building is amortized out of the
 // trial loop. RunParallel computes the identical output concurrently.
-func Run(cfg Config) ([]AlgResult, error) {
+//
+// Cancelling ctx stops the run between cells: the current cell finishes, no
+// further cells start, and ctx.Err() is returned. Cancellation cannot change
+// any value a completed run reports — every cell's RNG stream is derived
+// from its coordinates, never from what ran before it.
+func Run(ctx context.Context, cfg Config) ([]AlgResult, error) {
 	p, err := cfg.plan()
 	if err != nil {
 		return nil, err
@@ -211,6 +217,9 @@ func Run(cfg Config) ([]AlgResult, error) {
 	results := newResults(cfg, p)
 	sc := newEvalScratch(cfg.Workload)
 	for s := 0; s < p.samples; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x, trueAns, err := generateSample(cfg, s)
 		if err != nil {
 			return nil, err
@@ -220,6 +229,9 @@ func Run(cfg Config) ([]AlgResult, error) {
 			return nil, err
 		}
 		for t := 0; t < p.trials; t++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for i := range cfg.Algorithms {
 				e, err := runCell(cfg, p, plans[i], x, trueAns, s, t, i, sc)
 				if err != nil {

@@ -1,17 +1,6 @@
 package core
 
-// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA 2014):
-// a full-avalanche 64-bit mixer, so inputs differing in a single bit map to
-// statistically independent outputs. It is the standard way to derive
-// independent RNG streams from (seed, coordinate) pairs without the
-// correlations that additive or multiplicative ad-hoc mixing exhibits for
-// nearby inputs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
+import "dpbench/internal/noise"
 
 // deriveSeed is the canonical per-stream seed derivation shared by the serial
 // and parallel runners. Every (sample, trial, algorithm) cell of an
@@ -21,31 +10,12 @@ func splitmix64(x uint64) uint64 {
 // SplitMix64 round, so distinct coordinates yield uncorrelated streams even
 // when seeds or indices are adjacent.
 func deriveSeed(seed int64, s, t, alg int) int64 {
-	h := splitmix64(uint64(seed))
-	h = splitmix64(h ^ uint64(int64(s)))
-	h = splitmix64(h ^ uint64(int64(t)))
-	h = splitmix64(h ^ uint64(int64(alg)))
+	h := noise.SplitMix64(uint64(seed))
+	h = noise.SplitMix64(h ^ uint64(int64(s)))
+	h = noise.SplitMix64(h ^ uint64(int64(t)))
+	h = noise.SplitMix64(h ^ uint64(int64(alg)))
 	return int64(h)
 }
 
 // generatorSeed returns the seed of sample s's data-generation stream.
 func generatorSeed(seed int64, s int) int64 { return deriveSeed(seed, s, -1, -1) }
-
-// splitMix64Source is a rand.Source64 running the SplitMix64 generator
-// itself: state advances by the golden-ratio gamma and each output is the
-// finalizer mix of the new state. The experiment runners use it instead of
-// the stdlib rngSource because rngSource.Seed reduces seeds mod 2^31-1,
-// which would collapse deriveSeed's 64-bit stream space back into
-// birthday-collision range for large grids; here the full 64-bit state is
-// the stream identity.
-type splitMix64Source struct{ state uint64 }
-
-func (s *splitMix64Source) Uint64() uint64 {
-	z := splitmix64(s.state)
-	s.state += 0x9E3779B97F4A7C15
-	return z
-}
-
-func (s *splitMix64Source) Int63() int64 { return int64(s.Uint64() >> 1) }
-
-func (s *splitMix64Source) Seed(seed int64) { s.state = uint64(seed) }

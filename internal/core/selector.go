@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/algo"
+	"dpbench/internal/algo"
 )
 
 // Recommendation is the output of SelectAlgorithm: a mechanism choice with

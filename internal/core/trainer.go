@@ -1,13 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/algo"
-	"repro/internal/noise"
-	"repro/internal/vec"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+	"dpbench/internal/workload"
 )
 
 // Trainer implements Rparam, the free-parameter learning procedure of
@@ -86,11 +87,12 @@ func normalizeVec(v *vec.Vector) {
 	}
 }
 
-// Train runs the grid search and returns the learned profile. Training fixes
+// Train runs the grid search and returns the learned profile. Cancelling ctx
+// stops the search between training cells and returns ctx.Err(). Training fixes
 // eps = 0.1 and varies scale to hit each product level, which is justified
 // for scale-epsilon exchangeable algorithms (Definition 4); SF, the one
 // exception, empirically behaves exchangeably (Section 5.5).
-func (t *Trainer) Train() (*Profile, error) {
+func (t *Trainer) Train(ctx context.Context) (*Profile, error) {
 	if len(t.Candidates) == 0 || t.Make == nil {
 		return nil, fmt.Errorf("core: trainer needs candidates and a constructor")
 	}
@@ -112,6 +114,9 @@ func (t *Trainer) Train() (*Profile, error) {
 	sc := newEvalScratch(w)
 	prof := &Profile{}
 	for li, product := range products {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		scale := int(math.Round(product / eps))
 		if scale < 1 {
 			scale = 1
@@ -169,7 +174,7 @@ func (t *Trainer) Train() (*Profile, error) {
 // TrainMWEM learns the round count T for MWEM* over the given signal levels
 // and returns it as a T-profile function (Section 6.4: T between 1 and 200;
 // the learned values range from 2 to 100 across the benchmark's scales).
-func TrainMWEM(domain int, products []float64, trials int, seed int64) (func(product float64) int, error) {
+func TrainMWEM(ctx context.Context, domain int, products []float64, trials int, seed int64) (func(product float64) int, error) {
 	var candidates [][]float64
 	for _, tv := range []float64{2, 5, 10, 20, 40, 70, 100} {
 		candidates = append(candidates, []float64{tv})
@@ -184,7 +189,7 @@ func TrainMWEM(domain int, products []float64, trials int, seed int64) (func(pro
 		Trials:   trials,
 		Seed:     seed,
 	}
-	prof, err := tr.Train()
+	prof, err := tr.Train(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +203,7 @@ func TrainMWEM(domain int, products []float64, trials int, seed int64) (func(pro
 }
 
 // TrainAHP learns (rho, eta) for AHP* over the given signal levels.
-func TrainAHP(domain int, products []float64, trials int, seed int64) (func(product float64) (rho, eta float64), error) {
+func TrainAHP(ctx context.Context, domain int, products []float64, trials int, seed int64) (func(product float64) (rho, eta float64), error) {
 	var candidates [][]float64
 	for _, rho := range []float64{0.15, 0.3, 0.5, 0.6} {
 		for _, eta := range []float64{0.1, 0.2, 0.35, 0.5} {
@@ -215,7 +220,7 @@ func TrainAHP(domain int, products []float64, trials int, seed int64) (func(prod
 		Trials:   trials,
 		Seed:     seed,
 	}
-	prof, err := tr.Train()
+	prof, err := tr.Train(ctx)
 	if err != nil {
 		return nil, err
 	}

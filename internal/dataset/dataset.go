@@ -24,8 +24,8 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/noise"
-	"repro/internal/vec"
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
 )
 
 // MaxDomain1D is the largest 1D domain size used by the benchmark.

@@ -8,17 +8,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 	"sort"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/core"
+	"dpbench/internal/dataset"
+	"dpbench/internal/stats"
+	"dpbench/internal/workload"
 )
 
 // Options controls experiment size and output.
@@ -44,6 +45,17 @@ type Options struct {
 	// experiment (dpbench -n). The planned mechanisms scale to million-bin
 	// domains; see BenchmarkLargeDomain.
 	Domain1D int
+	// Ctx, when non-nil, cancels a long experiment grid early: in-flight
+	// cells finish, no new cells start, and the context's error propagates
+	// out of the experiment. Nil means context.Background().
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) workers() int {
@@ -192,7 +204,7 @@ func (o Options) sweep(algos []algo.Algorithm, datasets []dataset.Dataset, dims 
 	if grid > len(per) {
 		grid = len(per)
 	}
-	err := core.ParallelFor(grid, len(per), func(c int) error {
+	err := core.ParallelForCtx(o.ctx(), grid, len(per), func(c int) error {
 		scale, d := scales[c/nds], datasets[c%nds]
 		cfg := core.Config{
 			Dataset:     d,
@@ -207,7 +219,7 @@ func (o Options) sweep(algos []algo.Algorithm, datasets []dataset.Dataset, dims 
 			Parallelism: workers / grid,
 			Audit:       o.Audit,
 		}
-		results, err := core.RunParallel(cfg, 0)
+		results, err := core.RunParallel(o.ctx(), cfg, 0)
 		if err != nil {
 			return err
 		}

@@ -5,11 +5,11 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"dpbench/internal/algo"
+	"dpbench/internal/core"
+	"dpbench/internal/dataset"
+	"dpbench/internal/stats"
+	"dpbench/internal/workload"
 )
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -60,7 +60,7 @@ func Finding6(o Options) (map[string]float64, error) {
 			Workload: w, Algorithms: variants[name],
 			DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + 60, Audit: o.Audit,
 		}
-		results, err := core.RunParallel(cfg, o.workers())
+		results, err := core.RunParallel(o.ctx(), cfg, o.workers())
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +103,7 @@ func Finding7(o Options) (map[int]float64, error) {
 				Workload: w, Algorithms: algos,
 				DataSamples: o.samples(), Trials: o.trials(), Seed: o.Seed + int64(scale) + 70, Audit: o.Audit,
 			}
-			results, err := core.RunParallel(cfg, o.workers())
+			results, err := core.RunParallel(o.ctx(), cfg, o.workers())
 			if err != nil {
 				return nil, err
 			}

@@ -4,8 +4,8 @@ import (
 	"io"
 	"testing"
 
-	"repro/internal/dataset"
-	"repro/internal/workload"
+	"dpbench/internal/dataset"
+	"dpbench/internal/workload"
 )
 
 // sweepOptions returns Options for a tiny grid with the given worker count.

@@ -15,7 +15,7 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/noise"
+	"dpbench/internal/noise"
 )
 
 // Dense is a dense row-major matrix.

@@ -7,7 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/transform"
+	"dpbench/internal/transform"
 )
 
 func TestDenseBasics(t *testing.T) {

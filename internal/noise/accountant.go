@@ -1,8 +1,24 @@
 package noise
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+)
+
+// Sentinel errors for programmatic handling. The public dpbench/privacy
+// package re-exports them, so callers outside the module can write
+// errors.Is(err, privacy.ErrBudgetExhausted) against any error produced by
+// the accountant, the meter, the audit, or a mechanism run — the whole chain
+// wraps with %w.
+var (
+	// ErrBudgetExhausted marks a spend that would exceed the accountant's
+	// total budget. The serving layer maps it to HTTP 429.
+	ErrBudgetExhausted = errors.New("privacy budget exhausted")
+	// ErrCompositionViolation marks a ledger that breaks the mechanism's
+	// declared composition: an undeclared label, or spends that do not sum
+	// to the trial's epsilon.
+	ErrCompositionViolation = errors.New("composition plan violated")
 )
 
 // Accountant tracks a privacy budget under sequential composition (Section
@@ -106,7 +122,7 @@ func (a *Accountant) spend(label string, eps float64, parallel bool) error {
 		}
 	}
 	if a.spent+charge > a.total+budgetTolerance {
-		return fmt.Errorf("noise: budget exceeded: spent %v + %v > total %v", a.spent, charge, a.total)
+		return fmt.Errorf("noise: %w: spent %v + %v > total %v", ErrBudgetExhausted, a.spent, charge, a.total)
 	}
 	a.spent += charge
 	if parallel {

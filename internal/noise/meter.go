@@ -376,7 +376,7 @@ func VerifyPlan(ledger []Spend, plan Plan) error {
 			if s.Parallel {
 				kind = "parallel"
 			}
-			return fmt.Errorf("noise: ledger entry %q (%s, eps=%v) not covered by the composition plan", s.Label, kind, s.Eps)
+			return fmt.Errorf("noise: %w: ledger entry %q (%s, eps=%v) not declared", ErrCompositionViolation, s.Label, kind, s.Eps)
 		}
 	}
 	return nil
@@ -396,7 +396,7 @@ func (m *Meter) Audit(plan Plan) error {
 	}
 	spent := m.acct.Spent()
 	if math.Abs(spent-m.total) > budgetTolerance {
-		return fmt.Errorf("noise: budget mismatch: ledger sums to %v, budget is %v (diff %v)", spent, m.total, spent-m.total)
+		return fmt.Errorf("noise: %w: ledger sums to %v, budget is %v (diff %v)", ErrCompositionViolation, spent, m.total, spent-m.total)
 	}
 	if plan != nil {
 		if err := VerifyPlan(m.acct.Ledger(), plan); err != nil {

@@ -1,0 +1,45 @@
+package noise
+
+import "math/rand"
+
+// SplitMix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA 2014):
+// a full-avalanche 64-bit mixer, so inputs differing in a single bit map to
+// statistically independent outputs. It is the standard way to derive
+// independent RNG streams from (seed, coordinate) pairs — core's deriveSeed
+// folds experiment coordinates through it — and the generator behind
+// NewRand. It is NOT cryptographic: the mixer is invertible, so anything
+// secret must not be recoverable from its outputs (the serving layer uses
+// crypto-seeded ChaCha8 streams for that reason).
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// splitMix64Source is a rand.Source64 running the SplitMix64 generator:
+// state advances by the golden-ratio gamma and each output is the finalizer
+// mix of the new state. It exists because the stdlib rngSource.Seed reduces
+// seeds mod 2^31-1, which collapses any 64-bit stream-identity scheme into
+// birthday-collision (and brute-force) range: the experiment runners need
+// distinct streams per (seed, sample, trial, algorithm) cell, and the
+// serving layer needs noise streams an observer cannot enumerate. Here the
+// full 64-bit state is the stream identity.
+type splitMix64Source struct{ state uint64 }
+
+func (s *splitMix64Source) Uint64() uint64 {
+	z := SplitMix64(s.state)
+	s.state += 0x9E3779B97F4A7C15
+	return z
+}
+
+func (s *splitMix64Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitMix64Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// NewRand returns a *rand.Rand whose stream identity is the full 64-bit
+// seed (a SplitMix64 source, not the stdlib rngSource with its mod-2^31-1
+// seed reduction). Two distinct seeds always give distinct streams.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(&splitMix64Source{state: seed})
+}

@@ -5,7 +5,7 @@ import (
 	"math"
 	"sync"
 
-	"repro/internal/noise"
+	"dpbench/internal/noise"
 )
 
 // Flat is an immutable, flattened aggregation tree: pure structure (topology,

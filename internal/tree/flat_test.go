@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/noise"
+	"dpbench/internal/noise"
 )
 
 // TestFlatMatchesNodeBitwise pins the flattened tree's whole trial pipeline

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/noise"
+	"dpbench/internal/noise"
 )
 
 // Node is one node of an aggregation tree. A leaf covers an explicit set of

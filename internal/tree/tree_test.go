@@ -6,7 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/noise"
+	"dpbench/internal/noise"
 )
 
 func TestBuildIntervalStructure(t *testing.T) {

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/vec"
+	"dpbench/internal/vec"
 )
 
 // referenceEvaluate1D is the pre-Evaluator per-call implementation, kept as

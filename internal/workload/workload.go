@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/vec"
+	"dpbench/internal/vec"
 )
 
 // Workload is a set of inclusive axis-aligned range queries over a fixed

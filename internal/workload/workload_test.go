@@ -6,7 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/vec"
+	"dpbench/internal/vec"
 )
 
 func TestPrefixStructure(t *testing.T) {

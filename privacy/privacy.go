@@ -1,0 +1,91 @@
+// Package privacy is the public face of dpbench's privacy-budget machinery:
+// the Accountant (a composition-aware budget ledger), the Meter (a
+// budget-metered noise source every mechanism draws through), and the
+// sentinel errors callers match with errors.Is to handle budget exhaustion
+// and composition violations programmatically.
+//
+// Every error produced inside a mechanism run wraps these sentinels with %w,
+// so the chain survives all the way out of release.RunAudited, dpbench.Run,
+// and the dpbench serve HTTP layer (which maps ErrBudgetExhausted to a
+// 429-style response):
+//
+//	if errors.Is(err, privacy.ErrBudgetExhausted) {
+//		// the caller's epsilon is spent; no more queries on this budget
+//	}
+//
+// The types are aliases of the internal implementations, so a Meter obtained
+// here is exactly the meter the mechanisms and the audit machinery use —
+// there is no wrapper layer that could drift out of sync.
+package privacy
+
+import (
+	"math/rand"
+
+	"dpbench/internal/noise"
+)
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrBudgetExhausted marks a spend that would exceed an accountant's
+	// total privacy budget. The serving layer maps it to HTTP 429.
+	ErrBudgetExhausted = noise.ErrBudgetExhausted
+	// ErrCompositionViolation marks a budget-ledger audit failure: a spend
+	// under an undeclared label, or per-trial spends that do not sum to the
+	// trial's epsilon (both over- and under-spend violate the mechanism's
+	// declared composition).
+	ErrCompositionViolation = noise.ErrCompositionViolation
+)
+
+// Accountant tracks a privacy budget under sequential and parallel
+// composition. Spend consumes budget for a sequentially composed subroutine;
+// SpendParallel charges a family of spends over disjoint data partitions by
+// their running maximum. Once the total is exhausted, every further spend
+// fails with an error wrapping ErrBudgetExhausted.
+type Accountant = noise.Accountant
+
+// Spend is one recorded budget expenditure in an Accountant's ledger.
+type Spend = noise.Spend
+
+// Meter is a privacy-metered noise source: an RNG paired with a total budget
+// and (optionally) an Accountant charged on every draw. Mechanism plans
+// consume one per trial via Plan.Execute.
+type Meter = noise.Meter
+
+// Plan declares the ledger labels a mechanism may emit and how each
+// composes; the audit rejects any spend outside it.
+type Plan = noise.Plan
+
+// PlanEntry is one declared ledger label of a Plan.
+type PlanEntry = noise.PlanEntry
+
+// SpendKind classifies how spends under one ledger label compose.
+type SpendKind = noise.SpendKind
+
+// Composition kinds for PlanEntry.
+const (
+	// Sequential spends add up (sequential composition).
+	Sequential = noise.Sequential
+	// Parallel spends on disjoint partitions count their maximum once.
+	Parallel = noise.Parallel
+)
+
+// NewAccountant returns an accountant for the given total budget. The
+// dpbench serve layer keeps one per API key.
+func NewAccountant(total float64) (*Accountant, error) { return noise.NewAccountant(total) }
+
+// NewMeter returns an unaudited meter: draws pass through to the noise
+// primitives and budget charges are no-ops, which is the allocation-free
+// serving/benchmark hot path.
+func NewMeter(eps float64, rng *rand.Rand) *Meter { return noise.NewMeter(eps, rng) }
+
+// NewAuditedMeter returns a meter whose every charge is recorded in a
+// ledger, for callers that want to verify a mechanism's budget arithmetic
+// with Meter.Audit. Call Release when done to return the pooled ledger.
+func NewAuditedMeter(eps float64, rng *rand.Rand) (*Meter, error) {
+	return noise.NewAuditedMeter(eps, rng)
+}
+
+// VerifyPlan checks every ledger entry against a declared composition plan,
+// returning an error wrapping ErrCompositionViolation on the first spend the
+// plan does not cover.
+func VerifyPlan(ledger []Spend, plan Plan) error { return noise.VerifyPlan(ledger, plan) }

@@ -5,10 +5,14 @@
 # and wins diffable. After writing the snapshot, it diffs against the latest
 # committed BENCH_*.json and prints per-benchmark time/alloc deltas.
 #
+# The suite covers every package, including the serving layer's end-to-end
+# request-throughput benchmark (BenchmarkServeQuery in internal/serve).
+#
 # Usage:
 #   scripts/bench.sh                 # full suite, default benchtime
 #   BENCHTIME=10x scripts/bench.sh   # bound per-benchmark iterations
 #   BENCH='AlgoMWEM|SweepSerial' scripts/bench.sh   # subset
+#   BENCH=ServeQuery scripts/bench.sh               # serving hot path only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
