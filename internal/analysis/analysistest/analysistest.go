@@ -1,0 +1,212 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want "regexp" comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract on the stdlib only.
+//
+// Fixtures live under the analyzer's testdata directory (invisible to the
+// go tool, so deliberately-broken code never reaches go build) but are
+// type-checked for real: imports — including dpbench's own internal
+// packages — resolve against compiled export data from the enclosing
+// module's build cache. A fixture declares its findings inline:
+//
+//	rng.Float64() // want `direct use of math/rand`
+//
+// Every reported diagnostic must match a want on its line and every want
+// must be matched, so both flagged and deliberately-clean fixture code are
+// load-bearing. The //lint:allow escape hatch is honored, making the
+// suppression path testable too.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpbench/internal/analysis"
+	"dpbench/internal/analysis/driver"
+	"dpbench/internal/analysis/load"
+)
+
+var (
+	exporterOnce sync.Once
+	exporter     *load.Exporter
+	exporterErr  error
+)
+
+// moduleExporter returns a process-wide Exporter seeded with the enclosing
+// module's full package closure, so fixtures can import any module or
+// stdlib package the repo itself can.
+func moduleExporter() (*load.Exporter, error) {
+	exporterOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			exporterErr = fmt.Errorf("analysistest: go env GOMOD: %v", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			exporterErr = fmt.Errorf("analysistest: not inside a module")
+			return
+		}
+		exporter, exporterErr = load.NewModuleExporter(filepath.Dir(gomod))
+	})
+	return exporter, exporterErr
+}
+
+// Run type-checks the fixture package in dir (relative to the test's
+// working directory) under the given import path, applies the analyzer, and
+// reports any divergence from the fixture's want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	exp, err := moduleExporter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s", dir)
+	}
+	pkg, err := load.LoadFiles(exp, importPath, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrs {
+		t.Errorf("analysistest: fixture does not type-check: %v", terr)
+	}
+	if len(pkg.TypeErrs) > 0 {
+		t.FailNow()
+	}
+	findings, err := driver.Analyze(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		key := lineKey{f.Pos.Filename, f.Pos.Line}
+		if !matchWant(wants[key], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(f.Pos), f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.rx.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// matchWant marks and returns whether some unmatched expectation on the
+// line accepts the message.
+func matchWant(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.rx.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// collectWants extracts // want "rx" expectations from every comment.
+func collectWants(t *testing.T, pkg *load.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range splitLiterals(t, pos, m[1]) {
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posString(pos), lit, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitLiterals parses a sequence of Go string literals ("..." or `...`).
+func splitLiterals(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("%s: unterminated want literal %q", posString(pos), s)
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want literal %q: %v", posString(pos), s[:end+1], err)
+			}
+			out = append(out, lit)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want literal %q", posString(pos), s)
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s: want expectations must be quoted string literals, got %q", posString(pos), s)
+		}
+	}
+}

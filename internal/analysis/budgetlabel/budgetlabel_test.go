@@ -1,0 +1,18 @@
+package budgetlabel
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+func TestBudgetLabel(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
+}
+
+// TestOpenPlan pins the conservative path: a mechanism whose plan is built
+// dynamically cannot be checked statically, so its spends are not flagged.
+func TestOpenPlan(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "openplan"), "dpbench/internal/algo")
+}

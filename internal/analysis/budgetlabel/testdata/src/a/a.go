@@ -1,0 +1,134 @@
+// Fixture for the budgetlabel analyzer, type-checked under the import path
+// dpbench/internal/algo so the scope rule applies.
+package algo
+
+import "dpbench/internal/noise"
+
+// GoodMech declares a plain label and a wildcard level family.
+type GoodMech struct{}
+
+// CompositionPlan declares the labels GoodMech may spend under.
+func (g *GoodMech) CompositionPlan() noise.Plan {
+	return noise.Plan{
+		{Label: "scale", Kind: noise.Sequential},
+		{Label: "level*", Kind: noise.Parallel},
+	}
+}
+
+// Plan hands a trial off to a helper type; constructing it here makes
+// goodPlan (and everything it constructs or calls) belong to GoodMech.
+func (g *GoodMech) Plan() any { return &goodPlan{} }
+
+// RunMeter spends directly from a mechanism method.
+func (g *GoodMech) RunMeter(m *noise.Meter) {
+	m.Laplace("scale", 1, 0.5)     // declared: clean
+	m.LaplacePar("level3", 1, 0.5) // wildcard match: clean
+	m.Charge("rogue", 0.5)         // want `label "rogue" is not declared in GoodMech's CompositionPlan`
+}
+
+// OtherMech exists so a label declared in a *different* mechanism's plan is
+// still a finding for code owned by GoodMech.
+type OtherMech struct{}
+
+// CompositionPlan declares OtherMech's only label.
+func (o *OtherMech) CompositionPlan() noise.Plan {
+	return noise.Plan{{Label: "other-only", Kind: noise.Sequential}}
+}
+
+type goodPlan struct{}
+
+// Execute spends from the plan type one attribution hop away from GoodMech.
+func (p *goodPlan) Execute(m *noise.Meter) {
+	m.Laplace("scale", 1, 0.25) // owned by GoodMech via Plan(): clean
+	sub := m.SubEps("level1", 0.25)
+	sub.Close()
+	m.Laplace("other-only", 1, 0.5) // want `label "other-only" is not declared in GoodMech's CompositionPlan`
+}
+
+// scratch is constructed inside newScratch, which goodPlan calls: two hops,
+// still owned by GoodMech.
+type scratch struct{}
+
+func newScratch() *scratch { return &scratch{} }
+
+// Prepare links goodPlan to newScratch for the attribution fixpoint.
+func (p *goodPlan) Prepare() *scratch { return newScratch() }
+
+// Spend exercises the transitive ownership chain.
+func (s *scratch) Spend(m *noise.Meter) {
+	m.Laplace("scale", 1, 1) // owned transitively: clean
+	m.Laplace("stray", 1, 1) // want `label "stray" is not declared in GoodMech's CompositionPlan`
+}
+
+// helper is never called from owned code, so it is checked against the
+// union of plans: "other-only" passes here, an unknown label does not.
+func helper(m *noise.Meter) {
+	m.Laplace("other-only", 1, 1) // union fallback: clean
+	m.Charge("nowhere", 1)        // want `label "nowhere" is not declared in any CompositionPlan in this package`
+}
+
+// dynamicLabel must be rejected outright: the plan check cannot be static
+// if the label is not.
+func dynamicLabel(m *noise.Meter, labels []string, i int) {
+	m.Laplace(labels[i], 1, 1) // want `must be a string constant`
+}
+
+// allowedDynamic shows the audited escape hatch. The computed label below
+// defeats both constant and forwarding resolution.
+func allowedDynamic(m *noise.Meter, prefix string) {
+	//lint:allow budgetlabel label set is validated by the runtime audit in this test-only path
+	m.Laplace(prefix+"x", 1, 1)
+}
+
+// Label tables: the depth-indexed wildcard idiom from internal/algo.
+var (
+	lvlLabels = labelTable("level", 8)
+	badLabels = labelTable("bad", 4)
+)
+
+func labelTable(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = prefix + string(rune('0'+i))
+	}
+	return out
+}
+
+func idxLabel(table []string, i int) string {
+	if i >= 0 && i < len(table) {
+		return table[i]
+	}
+	return table[len(table)-1]
+}
+
+// Families resolve through idxLabel, including via a single-assignment
+// local, and check against the plan's wildcards.
+func (g *GoodMech) PerLevel(m *noise.Meter, depth int) {
+	m.LaplacePar(idxLabel(lvlLabels, depth), 1, 0.5) // covered by "level*": clean
+	lab := idxLabel(lvlLabels, depth+1)
+	m.LaplacePar(lab, 1, 0.5)                 // same, via a local: clean
+	m.Charge(idxLabel(badLabels, depth), 0.5) // want `label family "bad\*" \(from labelTable\) is not declared in GoodMech's CompositionPlan`
+}
+
+// spendVia forwards its label parameter to a spend: the check moves to the
+// call sites, in each caller's own plan context.
+func spendVia(m *noise.Meter, label string) {
+	m.Laplace(label, 1, 0.5)
+}
+
+func (g *GoodMech) Forwarding(m *noise.Meter, dyn string) {
+	spendVia(m, "scale")  // declared at the call site: clean
+	spendVia(m, "rogue2") // want `label "rogue2" is not declared in GoodMech's CompositionPlan`
+	spendVia(m, dyn)      // want `ledger label forwarded to a Meter spend inside spendVia must be a string constant`
+}
+
+// relayVia forwards through two hops; the constant is still checked where
+// it is chosen.
+func relayVia(m *noise.Meter, label string) {
+	spendVia(m, label)
+}
+
+func (g *GoodMech) DoubleForward(m *noise.Meter) {
+	relayVia(m, "scale")  // clean through two hops
+	relayVia(m, "rogue3") // want `label "rogue3" is not declared in GoodMech's CompositionPlan`
+}

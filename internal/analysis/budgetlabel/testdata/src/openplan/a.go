@@ -1,0 +1,21 @@
+// A dynamically-built CompositionPlan opts its mechanism out of the static
+// label check (the runtime audit still covers it); no want comments here.
+package algo
+
+import "dpbench/internal/noise"
+
+// DynMech builds its plan through a helper, so budgetlabel marks it open.
+type DynMech struct{}
+
+// CompositionPlan delegates, which the static pass cannot see through.
+func (d *DynMech) CompositionPlan() noise.Plan { return d.buildPlan() }
+
+func (d *DynMech) buildPlan() noise.Plan {
+	return noise.Plan{{Label: "computed", Kind: noise.Sequential}}
+}
+
+// RunMeter spends under a label only the dynamic plan declares.
+func (d *DynMech) RunMeter(m *noise.Meter) {
+	m.Laplace("computed", 1, 1)
+	m.Laplace("anything-goes", 1, 1)
+}

@@ -1,0 +1,261 @@
+// Package determinism guards the bit-reproducibility invariants the golden
+// and Plan-vs-Run equivalence tests depend on. The experiment grid promises
+// bit-identical output at any worker count (PR 2), Plan/Execute promises
+// bit-identical trials across structure reuse (PR 4) — both die quietly the
+// moment an output depends on Go's randomized map iteration order or on
+// ambient process state.
+//
+// In dpbench/internal/{algo,tree,core,experiments} non-test files it flags,
+// inside `for ... range <map>` bodies:
+//
+//   - assignments through an index into a slice or array (results land in
+//     map-iteration order);
+//   - append calls, unless the destination is a local that the function
+//     sorts afterwards (the collect-sort-iterate idiom is the sanctioned
+//     way to walk a map deterministically);
+//   - compound floating-point accumulation (+=, -=, *=, /=): float addition
+//     is not associative, so even an order-independent *set* of updates
+//     produces order-dependent bits. Accumulating into a map entry indexed
+//     by the range key stays order-independent and is allowed.
+//
+// Reads, integer accumulation, and map writes keyed by the range key are
+// all order-independent and deliberately not flagged. time.Now and
+// os.Getenv/LookupEnv/Environ are banned outright in these packages:
+// Plan/Execute paths must be pure functions of (data, workload, eps, seed).
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dpbench/internal/analysis"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "Plan/Execute packages must not depend on map iteration order, wall-clock time, or the environment",
+	Run:  run,
+}
+
+var scopes = []string{
+	"dpbench/internal/algo",
+	"dpbench/internal/tree",
+	"dpbench/internal/core",
+	"dpbench/internal/experiments",
+}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkAmbient(pass, n)
+				case *ast.RangeStmt:
+					if isMapRange(pass.TypesInfo, n) {
+						checkMapRange(pass, fd, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkAmbient flags wall-clock and environment reads.
+func checkAmbient(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch {
+	case obj.Pkg().Path() == "time" && obj.Name() == "Now":
+		pass.Reportf(call.Pos(), "time.Now in a Plan/Execute package: outputs must be a pure function of (data, workload, eps, seed) for the goldens to hold; measure time in the caller")
+	case obj.Pkg().Path() == "os" && (obj.Name() == "Getenv" || obj.Name() == "LookupEnv" || obj.Name() == "Environ"):
+		pass.Reportf(call.Pos(), "os.%s in a Plan/Execute package: outputs must be a pure function of (data, workload, eps, seed) for the goldens to hold; plumb configuration through parameters", obj.Name())
+	}
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order-dependent writes.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass.TypesInfo, rs.Key)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range reports its own body; descending here too
+			// would duplicate every finding once per enclosing loop.
+			if isMapRange(pass.TypesInfo, n) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, fd, rs, keyObj, n)
+		}
+		return true
+	})
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	ident, ok := e.(*ast.Ident)
+	if !ok || ident.Name == "_" {
+		return nil
+	}
+	if o := info.Defs[ident]; o != nil {
+		return o
+	}
+	return info.Uses[ident]
+}
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func checkAssign(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt) {
+	// Appends first: s = append(s, ...) is an assignment whose RHS decides.
+	for i, rhs := range as.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppend(pass.TypesInfo, call) && i < len(as.Lhs) {
+			checkAppend(pass, fd, rs, keyObj, as.Lhs[i])
+		}
+	}
+	for _, lhs := range as.Lhs {
+		lhs := ast.Unparen(lhs)
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			tv, ok := pass.TypesInfo.Types[ix.X]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Array:
+				pass.Reportf(as.Pos(), "writes %s in map-iteration order: slice contents become nondeterministic, breaking the bit-identical goldens; iterate sorted keys instead", types.ExprString(lhs))
+				continue
+			case *types.Map:
+				// Writes keyed by the range key hit disjoint entries: order
+				// cannot matter. Any other index may collide across
+				// iterations, making last-write and accumulation order
+				// nondeterministic.
+				if compoundOps[as.Tok] && isFloat(pass.TypesInfo, lhs) && !indexIsRangeKey(pass.TypesInfo, ix, keyObj) {
+					pass.Reportf(as.Pos(), "accumulates floating point into %s in map-iteration order: float addition is not associative, so the result is nondeterministic; iterate sorted keys instead", types.ExprString(lhs))
+				}
+				continue
+			}
+		}
+		if compoundOps[as.Tok] && isFloat(pass.TypesInfo, lhs) {
+			pass.Reportf(as.Pos(), "accumulates floating point into %s in map-iteration order: float addition is not associative, so the result is nondeterministic; iterate sorted keys instead", types.ExprString(lhs))
+		}
+	}
+}
+
+// checkAppend flags append inside a map range unless the destination is an
+// identifier the enclosing function sorts after the loop.
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, keyObj types.Object, dst ast.Expr) {
+	dst = ast.Unparen(dst)
+	if ident, ok := dst.(*ast.Ident); ok {
+		obj := rangeVarObj(pass.TypesInfo, ident)
+		if obj != nil && sortedAfter(pass, fd, rs, obj) {
+			return
+		}
+		pass.Reportf(dst.Pos(), "appends to %s in map-iteration order without sorting afterwards: element order becomes nondeterministic, breaking the bit-identical goldens; sort the collected slice (or iterate sorted keys)", ident.Name)
+		return
+	}
+	if ix, ok := dst.(*ast.IndexExpr); ok && indexIsRangeKey(pass.TypesInfo, ix, keyObj) {
+		// out[k] = append(out[k], ...) keyed by the range key touches
+		// disjoint slices; per-slice order does not depend on map order.
+		return
+	}
+	pass.Reportf(dst.Pos(), "appends to %s in map-iteration order: element order becomes nondeterministic, breaking the bit-identical goldens; iterate sorted keys instead", types.ExprString(dst))
+}
+
+// indexIsRangeKey reports whether the index expression is exactly the range
+// key variable.
+func indexIsRangeKey(info *types.Info, ix *ast.IndexExpr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	ident, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && rangeVarObj(info, ident) == keyObj
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// sortedAfter reports whether obj is passed to a sort call positioned after
+// the range statement in the same function.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.TypesInfo.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path, name := fn.Pkg().Path(), fn.Name()
+		isSort := (path == "sort" && (name == "Strings" || name == "Ints" || name == "Float64s" || name == "Slice" || name == "SliceStable" || name == "Sort" || name == "Stable")) ||
+			(path == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if ok && rangeVarObj(pass.TypesInfo, arg) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package determinism
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/core")
+}
+
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "outofscope"), "dpbench/internal/dataset")
+}

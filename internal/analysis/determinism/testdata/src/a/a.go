@@ -1,0 +1,113 @@
+// Fixture for the determinism analyzer, type-checked under the import path
+// dpbench/internal/core so the scope rule applies.
+package core
+
+import (
+	"os"
+	"slices"
+	"sort"
+	"time"
+)
+
+func sliceWrite(m map[string]int, out []float64) {
+	for _, v := range m {
+		out[v] = 1.0 // want `writes out\[v\] in map-iteration order`
+	}
+}
+
+func unsortedCollect(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in map-iteration order without sorting afterwards`
+	}
+	return keys
+}
+
+// The sanctioned collect-sort-iterate idiom: clean.
+func sortedCollect(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesSorted(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func accumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulates floating point into sum in map-iteration order`
+	}
+	return sum
+}
+
+// Integer accumulation is associative: clean.
+func intAccumulate(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Reading without writing anything order-sensitive: clean.
+func readOnly(m map[string]float64, want float64) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Writes keyed by the range key hit each entry exactly once: clean.
+func perKeyWrite(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func perKeyAppend(m map[string]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(m))
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+	return out
+}
+
+func crossKeyAccum(m map[string]float64, bucket string) map[string]float64 {
+	acc := make(map[string]float64)
+	for _, v := range m {
+		acc[bucket] += v // want `accumulates floating point into acc\[bucket\] in map-iteration order`
+	}
+	return acc
+}
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in a Plan/Execute package`
+	return t.Unix()
+}
+
+func ambientEnv() string {
+	return os.Getenv("DPBENCH_MODE") // want `os.Getenv in a Plan/Execute package`
+}
+
+func allowedAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:allow determinism fixture: order-insensitive tolerance check only
+		sum += v
+	}
+	return sum
+}

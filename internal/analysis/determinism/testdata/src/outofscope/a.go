@@ -1,0 +1,16 @@
+// The same hazards outside the guarded package set produce no findings.
+package outofscope
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().Unix()
+}
+
+func accumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,65 @@
+// Doc.go records the five invariants dpbench-lint enforces at compile time
+// and the escape hatch for audited exceptions. The authoritative wording of
+// each invariant lives on the Analyzer.Doc of the subpackages; this file is
+// the map.
+//
+// # Why these checks exist
+//
+// The repo's correctness story rests on properties that used to be checked
+// only at runtime: the budget-ledger audit (-audit runs), the golden tests,
+// and the Plan-vs-Run bitwise-equivalence tests. A mechanism that draws
+// from a raw *rand.Rand, spends under an undeclared ledger label, leaks a
+// sub-meter, or iterates a map into an output buffer compiles cleanly and
+// fails — at best — in a later runtime audit or a golden diff. The
+// analyzers turn that whole bug class into a build failure.
+//
+// # The five analyzers
+//
+//   - noisegate (internal/analysis/noisegate): inside dpbench/internal/algo,
+//     privacy-relevant randomness must flow through an accountant-backed
+//     noise.Meter. Direct math/rand draws, *rand.Rand method calls (other
+//     than on the explicit zero-cost noise.Meter.Rand() path), and
+//     hand-rolled math.Log/math.Exp noise synthesis are flagged, because a
+//     draw the accountant never sees is a spend the audit can never prove.
+//
+//   - budgetlabel (internal/analysis/budgetlabel): every ledger label passed
+//     to a Meter spend method must be a string constant that the owning
+//     mechanism's CompositionPlan() declares (wildcard entries like "level*"
+//     included). Two package idioms are resolved rather than rejected:
+//     idxLabel(labelTable("kd", n), i) families check against the plan's
+//     wildcards, and a label that is a parameter of an unexported helper is
+//     checked at each call site against the caller's plan instead.
+//     Undeclared-label drift is otherwise caught only when an audited run
+//     happens to execute that code path.
+//
+//   - subclose (internal/analysis/subclose): a meter returned by Sub /
+//     SubEps / SubParEps (or re-armed by ResetSub) must be closed back into
+//     its parent on every control-flow path, in the style of vet's
+//     lostcancel. A leaked sub-meter under-reports spend silently.
+//
+//   - determinism (internal/analysis/determinism): in dpbench/internal/algo,
+//     internal/tree, internal/core and internal/experiments, map-range
+//     iteration must not write slices, append (unless the collected keys are
+//     sorted before use), or accumulate floating point — and time.Now /
+//     os.Getenv are banned outright. These are exactly the hazards the
+//     bit-identical goldens and the Plan-vs-Run equivalence tests depend on.
+//
+//   - internalboundary (internal/analysis/internalboundary): only the facade
+//     packages (dpbench, dpbench/release, dpbench/privacy) and dpbench/cmd
+//     may import dpbench/internal/...; examples must stay on the public API,
+//     and internal packages must not import the facade back. This replaces
+//     the old grep-based CI step with a real import-graph check.
+//
+// # Escape hatch
+//
+// A finding that is understood and deliberately accepted — for example the
+// legacy-sampler path planned in ROADMAP item 2, which must keep the exact
+// historical draw sequence — is silenced with a comment on the flagged line
+// or the line directly above it:
+//
+//	//lint:allow noisegate legacy sampler keeps the golden draw order
+//
+// The analyzer name is required; everything after it is the justification
+// and should cite why the invariant holds anyway. Allow comments are
+// scoped to a single line so an exception can never grow silently.
+package analysis

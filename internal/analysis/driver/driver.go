@@ -1,0 +1,103 @@
+// Package driver applies a set of analyzers to loaded packages, honoring
+// the //lint:allow escape hatch, and renders findings in the conventional
+// file:line:col form.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"dpbench/internal/analysis"
+	"dpbench/internal/analysis/load"
+)
+
+// A Finding is one diagnostic from one analyzer, resolved to a position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding as "file:line:col: analyzer: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyze runs every analyzer over one package, drops findings silenced by a
+// //lint:allow comment, and returns the rest sorted by position.
+func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	allowed := collectAllows(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if allowed[allowKey{pos.Filename, pos.Line, name}] || allowed[allowKey{pos.Filename, pos.Line - 1, name}] {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("driver: analyzer %s on %s: %v", a.Name, pkg.Meta.ImportPath, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// allowKey addresses one (file, line, analyzer) allow grant. A grant on line
+// N silences that analyzer's findings on lines N and N+1, so the comment can
+// sit either on the flagged line or directly above it.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans every comment in the package for the escape hatch:
+//
+//	//lint:allow analyzer[,analyzer...] justification
+func collectAllows(pkg *load.Package) map[allowKey]bool {
+	allowed := map[allowKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					allowed[allowKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}

@@ -1,0 +1,58 @@
+// Package internalboundary enforces the facade architecture from PR 5: the
+// only sanctioned doors into dpbench/internal are the facade packages
+// (dpbench, dpbench/release, dpbench/privacy) and the binaries under cmd/.
+// Examples — the code users copy — must demonstrate the supported surface,
+// not the internals, so the API lock in api_lock_test.go keeps meaning
+// something. The rule also runs in reverse: internal packages must not
+// import a facade, both to keep the dependency graph acyclic and to stop
+// the internals from growing load-bearing knowledge of their own wrapper.
+//
+// This analyzer replaces the old grep-based CI step
+// (`! grep -rn "dpbench/internal" examples/`), which could not distinguish
+// an import from a comment and knew nothing about the reverse direction.
+package internalboundary
+
+import (
+	"strconv"
+	"strings"
+
+	"dpbench/internal/analysis"
+)
+
+// Analyzer is the internalboundary pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "internalboundary",
+	Doc:  "dpbench/internal may only be imported via the facade packages and cmd/; internal must not import the facade",
+	Run:  run,
+}
+
+// facades are the public packages allowed to wrap dpbench/internal.
+var facades = map[string]bool{
+	"dpbench":         true,
+	"dpbench/release": true,
+	"dpbench/privacy": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	path := pass.Pkg.Path()
+	isInternal := path == "dpbench/internal" || strings.HasPrefix(path, "dpbench/internal/")
+	mayImportInternal := isInternal || facades[path] || strings.HasPrefix(path, "dpbench/cmd/")
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			target, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case !mayImportInternal && (target == "dpbench/internal" || strings.HasPrefix(target, "dpbench/internal/")):
+				pass.Reportf(spec.Pos(), "%s imports %s: dpbench/internal is reachable only through the facade packages (dpbench, dpbench/release, dpbench/privacy) and cmd/; use the facade instead", path, target)
+			case isInternal && facades[target]:
+				pass.Reportf(spec.Pos(), "internal package %s imports facade %s: the facade wraps the internals, never the other way around; move the shared code under dpbench/internal", path, target)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package internalboundary
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+func TestBadExample(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "badexample"), "dpbench/examples/bad")
+}
+
+func TestCleanExample(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "cleanexample"), "dpbench/examples/clean")
+}
+
+func TestBadInternal(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "badinternal"), "dpbench/internal/badinternal")
+}

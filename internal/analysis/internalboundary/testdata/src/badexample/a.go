@@ -1,0 +1,9 @@
+// An example reaching past the facade: the exact pattern the old grep-based
+// CI step existed to catch.
+package main
+
+import "dpbench/internal/noise" // want `imports dpbench/internal/noise: dpbench/internal is reachable only through the facade packages`
+
+var _ noise.Plan
+
+func main() {}

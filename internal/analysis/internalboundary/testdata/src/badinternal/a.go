@@ -1,0 +1,5 @@
+// An internal package importing its own wrapper: the reverse-direction
+// violation the grep step could never see.
+package badinternal
+
+import _ "dpbench/privacy" // want `internal package dpbench/internal/badinternal imports facade dpbench/privacy`

@@ -1,0 +1,9 @@
+// An example using only the facade: no findings.
+package main
+
+import (
+	_ "dpbench/privacy"
+	_ "dpbench/release"
+)
+
+func main() {}

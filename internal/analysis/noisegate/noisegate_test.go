@@ -1,0 +1,19 @@
+package noisegate
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+func TestNoisegate(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
+}
+
+// TestOutOfScope pins that the gate applies only under internal/algo: the
+// same violations under another import path produce no findings (the noise
+// package itself must keep its raw draws).
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "outofscope"), "dpbench/internal/experiments")
+}

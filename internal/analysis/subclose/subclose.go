@@ -1,0 +1,518 @@
+// Package subclose enforces the scoped-sub-meter invariant: a meter opened
+// with Sub / SubEps / SubParEps (or re-armed in place with ResetSub) must be
+// closed back into its parent on every control-flow path. Close is where
+// the child's actual spend is charged to the parent ledger, so a leaked
+// sub-meter silently under-reports the trial's spend — the audit then fails
+// (if it runs) or the budget arithmetic is simply wrong (if it doesn't).
+//
+// The check is lostcancel-shaped but runs on structured syntax rather than
+// a CFG: from the opening statement it walks the remainder of each
+// enclosing block, requiring that every path reaches a Close (a direct
+// call, a defer, or a deferred closure containing one) before a return,
+// a loop-back edge, or the end of the function. Sub-meters that escape the
+// function — passed to another call, stored, returned — are skipped: the
+// responsibility moved, and tracking it interprocedurally is the runtime
+// audit's job.
+package subclose
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dpbench/internal/analysis"
+	"dpbench/internal/analysis/meterapi"
+)
+
+// Analyzer is the subclose pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "subclose",
+	Doc:  "a Sub/SubEps/SubParEps sub-meter must be closed back into its parent on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// an openSite is one statement that opens (or re-arms) a sub-meter bound to
+// a trackable expression.
+type openSite struct {
+	stmt  ast.Stmt // the statement containing the open call
+	expr  string   // canonical rendering of the sub-meter expression
+	obj   types.Object
+	label string // the ledger label, when constant
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var sites []openSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := meterapi.MeterMethod(pass.TypesInfo, call)
+			if !ok || !meterapi.SubMethods[name] {
+				return true
+			}
+			ident, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || ident.Name == "_" {
+				return true
+			}
+			label, _ := meterapi.ConstString(pass.TypesInfo, call.Args[0])
+			sites = append(sites, openSite{
+				stmt:  n,
+				expr:  types.ExprString(n.Lhs[0]),
+				obj:   objectOf(pass.TypesInfo, ident),
+				label: label,
+			})
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := meterapi.MeterMethod(pass.TypesInfo, call)
+			if !ok || name != "ResetSub" || len(call.Args) < 2 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			target := ast.Unparen(unary.X)
+			label, _ := meterapi.ConstString(pass.TypesInfo, call.Args[1])
+			sites = append(sites, openSite{
+				stmt:  n,
+				expr:  types.ExprString(target),
+				obj:   rootObject(pass.TypesInfo, target),
+				label: label,
+			})
+		}
+		return true
+	})
+	for _, site := range sites {
+		checkSite(pass, fd, site)
+	}
+}
+
+// objectOf resolves an identifier to its object via Uses or Defs.
+func objectOf(info *types.Info, ident *ast.Ident) types.Object {
+	if o := info.Uses[ident]; o != nil {
+		return o
+	}
+	return info.Defs[ident]
+}
+
+// rootObject resolves the leftmost identifier of an expression like
+// sc.sub to its object, for occurrence matching.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return objectOf(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+type status int
+
+const (
+	// sFall: control falls off the end of the sequence with the sub still
+	// open — keep looking in the enclosing block.
+	sFall status = iota
+	// sClosed: every path through the sequence closes the sub.
+	sClosed
+	// sLeak: some path returns or loops back with the sub open.
+	sLeak
+	// sUnknown: control flow too irregular (goto); stay silent.
+	sUnknown
+)
+
+func checkSite(pass *analysis.Pass, fd *ast.FuncDecl, site openSite) {
+	if escapes(pass, fd, site) {
+		return
+	}
+	chain, ok := enclosingChain(fd.Body, site.stmt)
+	if !ok {
+		return
+	}
+	w := &walker{pass: pass, site: site}
+	// Walk the remainder of each enclosing block, innermost first.
+	for i := len(chain) - 1; i >= 0; i-- {
+		level := chain[i]
+		switch w.seq(level.rest) {
+		case sClosed:
+			return
+		case sUnknown:
+			return
+		case sLeak:
+			report(pass, site)
+			return
+		case sFall:
+			if level.loop {
+				// Falling to the next iteration re-opens (or abandons) the
+				// still-open child: a leak on every iteration.
+				report(pass, site)
+				return
+			}
+		}
+	}
+	// Fell off the end of the function with the sub open.
+	report(pass, site)
+}
+
+func report(pass *analysis.Pass, site openSite) {
+	name := "sub-meter"
+	if site.label != "" {
+		name = "sub-meter \"" + site.label + "\""
+	}
+	pass.Reportf(site.stmt.Pos(), "%s is not closed on every path: Close charges the child's spend to the parent ledger, so a leaked sub-meter under-reports the trial's spend", name)
+}
+
+// level is one enclosing block: the statements after the open site (or
+// after the nested block containing it), and whether leaving the block
+// falls back to a loop header.
+type level struct {
+	rest []ast.Stmt
+	loop bool
+}
+
+// enclosingChain returns the blocks from the function body down to the one
+// holding stmt, each trimmed to the statements after the relevant position.
+func enclosingChain(body *ast.BlockStmt, stmt ast.Stmt) ([]level, bool) {
+	var chain []level
+	var find func(stmts []ast.Stmt, loop bool) bool
+	find = func(stmts []ast.Stmt, loop bool) bool {
+		for i, s := range stmts {
+			if s == stmt {
+				chain = append(chain, level{rest: stmts[i+1:], loop: loop})
+				return true
+			}
+			if containsStmt(s, stmt) {
+				chain = append(chain, level{rest: stmts[i+1:], loop: loop})
+				return descend(s, stmt, find)
+			}
+		}
+		return false
+	}
+	if !find(body.List, false) {
+		return nil, false
+	}
+	// chain was built outermost-first.
+	return chain, true
+}
+
+// containsStmt reports whether outer contains target.
+func containsStmt(outer ast.Node, target ast.Stmt) bool {
+	found := false
+	ast.Inspect(outer, func(n ast.Node) bool {
+		if n == ast.Node(target) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// descend recurses into the compound statement s toward target.
+func descend(s ast.Stmt, target ast.Stmt, find func([]ast.Stmt, bool) bool) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return find(s.List, false)
+	case *ast.IfStmt:
+		if containsStmt(s.Body, target) {
+			return find(s.Body.List, false)
+		}
+		if s.Else != nil && containsStmt(s.Else, target) {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				return find(blk.List, false)
+			}
+			return descend(s.Else, target, find)
+		}
+	case *ast.ForStmt:
+		return find(s.Body.List, true)
+	case *ast.RangeStmt:
+		return find(s.Body.List, true)
+	case *ast.SwitchStmt:
+		return descendClauses(s.Body, target, find)
+	case *ast.TypeSwitchStmt:
+		return descendClauses(s.Body, target, find)
+	case *ast.SelectStmt:
+		return descendClauses(s.Body, target, find)
+	case *ast.LabeledStmt:
+		return descend(s.Stmt, target, find)
+	}
+	return false
+}
+
+func descendClauses(body *ast.BlockStmt, target ast.Stmt, find func([]ast.Stmt, bool) bool) bool {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if stmtListContains(c.Body, target) {
+				return find(c.Body, false)
+			}
+		case *ast.CommClause:
+			if stmtListContains(c.Body, target) {
+				return find(c.Body, false)
+			}
+		}
+	}
+	return false
+}
+
+func stmtListContains(stmts []ast.Stmt, target ast.Stmt) bool {
+	for _, s := range stmts {
+		if s == target || containsStmt(s, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// walker evaluates close-on-every-path over structured statements.
+type walker struct {
+	pass *analysis.Pass
+	site openSite
+}
+
+func (w *walker) seq(stmts []ast.Stmt) status {
+	for _, s := range stmts {
+		switch st := w.stmt(s); st {
+		case sClosed, sLeak, sUnknown:
+			return st
+		}
+	}
+	return sFall
+}
+
+func (w *walker) stmt(s ast.Stmt) status {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if w.isClose(s.X) {
+			return sClosed
+		}
+	case *ast.DeferStmt:
+		if w.isCloseCall(s.Call) {
+			return sClosed
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && w.containsClose(lit.Body) {
+			return sClosed
+		}
+	case *ast.ReturnStmt:
+		return sLeak
+	case *ast.BranchStmt:
+		// break/continue jump out with the sub open; goto is irregular
+		// enough that we stay silent rather than guess.
+		if s.Tok.String() == "goto" {
+			return sUnknown
+		}
+		return sLeak
+	case *ast.BlockStmt:
+		return w.seq(s.List)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt)
+	case *ast.IfStmt:
+		thenSt := w.seq(s.Body.List)
+		elseSt := sFall
+		if s.Else != nil {
+			elseSt = w.stmt(s.Else)
+		}
+		return combineBranches(thenSt, elseSt)
+	case *ast.SwitchStmt:
+		return w.clauses(s.Body, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		return w.clauses(s.Body, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, true)
+	case *ast.ForStmt:
+		return w.loopBody(s.Body)
+	case *ast.RangeStmt:
+		return w.loopBody(s.Body)
+	}
+	return sFall
+}
+
+// loopBody: a close inside a loop that starts after the open does not
+// guarantee anything (zero iterations), but a leak inside it is real.
+func (w *walker) loopBody(body *ast.BlockStmt) status {
+	switch w.seq(body.List) {
+	case sLeak:
+		return sLeak
+	case sUnknown:
+		return sUnknown
+	}
+	return sFall
+}
+
+func (w *walker) clauses(body *ast.BlockStmt, exhaustive bool) status {
+	st := sClosed
+	for _, clause := range body.List {
+		var inner []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			inner = c.Body
+		case *ast.CommClause:
+			inner = c.Body
+		}
+		st = combineBranches(st, w.seq(inner))
+	}
+	if !exhaustive {
+		st = combineBranches(st, sFall)
+	}
+	return st
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if c, ok := clause.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// combineBranches merges the statuses of two alternative paths.
+func combineBranches(a, b status) status {
+	switch {
+	case a == sUnknown || b == sUnknown:
+		return sUnknown
+	case a == sLeak || b == sLeak:
+		return sLeak
+	case a == sClosed && b == sClosed:
+		return sClosed
+	default:
+		return sFall
+	}
+}
+
+// isClose reports whether e is <site.expr>.Close().
+func (w *walker) isClose(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return w.isCloseCall(call)
+}
+
+func (w *walker) isCloseCall(call *ast.CallExpr) bool {
+	name, ok := meterapi.MeterMethod(w.pass.TypesInfo, call)
+	if !ok || name != "Close" {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return types.ExprString(ast.Unparen(sel.X)) == w.site.expr
+}
+
+func (w *walker) containsClose(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && w.isCloseCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether the sub-meter expression is used anywhere in the
+// function other than as a method receiver, the open statement itself, or
+// another ResetSub re-arm of the same storage — passing it (or its address)
+// onward moves the close responsibility out of static reach.
+func escapes(pass *analysis.Pass, fd *ast.FuncDecl, site openSite) bool {
+	if site.obj == nil {
+		return true
+	}
+	esc := false
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		e, ok := n.(ast.Expr)
+		if !ok || !w2Matches(pass, e, site) {
+			return true
+		}
+		if !occurrenceAllowed(pass, stack, site) {
+			esc = true
+		}
+		// Do not descend into the matched expression.
+		return false
+	})
+	return esc
+}
+
+// w2Matches reports whether e denotes the tracked sub-meter storage.
+func w2Matches(pass *analysis.Pass, e ast.Expr, site openSite) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return types.ExprString(e) == site.expr && objectOf(pass.TypesInfo, x) == site.obj
+	case *ast.SelectorExpr:
+		return types.ExprString(e) == site.expr && rootObject(pass.TypesInfo, e) == site.obj
+	}
+	return false
+}
+
+// occurrenceAllowed classifies one appearance of the tracked expression.
+// stack[len-1] is the occurrence itself.
+func occurrenceAllowed(pass *analysis.Pass, stack []ast.Node, site openSite) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// sub.Method(...) or sub.field: receiver/field use, never a leak of
+		// the meter itself.
+		return true
+	case *ast.AssignStmt:
+		// Appearing as an assignment LHS: the open statement itself, or a
+		// rebind that starts a new tracking scope.
+		for _, lhs := range p.Lhs {
+			if lhs == stack[len(stack)-1] {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		// &sub is allowed only as the first argument of a ResetSub re-arm.
+		if p.Op.String() != "&" || len(stack) < 3 {
+			return false
+		}
+		call, ok := stack[len(stack)-3].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || ast.Unparen(call.Args[0]) != ast.Expr(p) {
+			return false
+		}
+		name, ok := meterapi.MeterMethod(pass.TypesInfo, call)
+		return ok && name == "ResetSub"
+	case *ast.ValueSpec:
+		// var sub noise.Meter — the declaration itself.
+		return true
+	}
+	return false
+}

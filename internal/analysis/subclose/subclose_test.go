@@ -1,0 +1,12 @@
+package subclose
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+func TestSubclose(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
+}

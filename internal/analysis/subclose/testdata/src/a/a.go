@@ -1,0 +1,101 @@
+// Fixture for the subclose analyzer. Sub-meters opened here must be closed
+// on every path; escapes are deliberately out of scope.
+package algo
+
+import "dpbench/internal/noise"
+
+func leakNever(m *noise.Meter) {
+	sub := m.SubEps("s1", 0.5) // want `sub-meter "s1" is not closed on every path`
+	sub.Laplace("x", 1, 0.5)
+}
+
+// Closed on one branch only: the classic partial close.
+func leakOneBranch(m *noise.Meter, cond bool) {
+	sub := m.SubEps("s2", 0.5) // want `sub-meter "s2" is not closed on every path`
+	sub.Laplace("x", 1, 0.5)
+	if cond {
+		sub.Close()
+	}
+}
+
+func leakEarlyReturn(m *noise.Meter, err error) error {
+	sub := m.SubEps("s3", 0.5) // want `sub-meter "s3" is not closed on every path`
+	if err != nil {
+		return err
+	}
+	sub.Close()
+	return nil
+}
+
+func leakLoopReopen(m *noise.Meter) {
+	var sub noise.Meter
+	for i := 0; i < 3; i++ {
+		m.ResetSub(&sub, "bucket", 0.1, true) // want `sub-meter "bucket" is not closed on every path`
+		sub.LaplacePar("x", 1, 0.1)
+	}
+}
+
+func cleanDefer(m *noise.Meter) {
+	sub := m.Sub("s4", 0.5)
+	defer sub.Close()
+	sub.Laplace("x", 1, 0.25)
+}
+
+func cleanDeferClosure(m *noise.Meter) {
+	sub := m.SubParEps("s5", 0.5)
+	defer func() {
+		sub.Close()
+	}()
+	sub.LaplacePar("x", 1, 0.25)
+}
+
+func cleanBothBranches(m *noise.Meter, cond bool) {
+	sub := m.SubEps("s6", 0.5)
+	if cond {
+		sub.Laplace("x", 1, 0.5)
+		sub.Close()
+	} else {
+		sub.Close()
+	}
+}
+
+func cleanErrPath(m *noise.Meter, err error) error {
+	sub := m.SubEps("s7", 0.5)
+	if err != nil {
+		sub.Close()
+		return err
+	}
+	sub.Laplace("x", 1, 0.5)
+	sub.Close()
+	return nil
+}
+
+// The SF pattern: re-armed storage opened and closed within each iteration.
+func cleanLoop(m *noise.Meter) {
+	var sub noise.Meter
+	for i := 0; i < 3; i++ {
+		m.ResetSub(&sub, "bucket", 0.1, true)
+		sub.LaplacePar("x", 1, 0.1)
+		sub.Close()
+	}
+}
+
+// Passing the sub-meter on moves the close responsibility out of static
+// reach: no finding, the runtime audit owns this case.
+func cleanEscape(m *noise.Meter) *noise.Meter {
+	sub := m.SubEps("s8", 0.5)
+	return sub
+}
+
+func spendInto(sub *noise.Meter) { sub.Laplace("x", 1, 0.5) }
+
+func cleanEscapeArg(m *noise.Meter) {
+	sub := m.SubEps("s9", 0.5)
+	spendInto(sub)
+}
+
+func allowedLeak(m *noise.Meter) {
+	//lint:allow subclose fixture: the parent is audited by the caller
+	sub := m.SubEps("s10", 0.5)
+	sub.Laplace("x", 1, 0.5)
+}
