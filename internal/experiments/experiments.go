@@ -524,9 +524,24 @@ func Regret(o Options, twoD bool) (map[string]float64, error) {
 	for i, a := range algos {
 		names[i] = a.Name()
 	}
+	// Iterate settings in sorted (scale, dataset) order: regret is a
+	// geometric mean, and float products are order-sensitive at the bit
+	// level, so map order here would leak into the printed table.
+	scales := make([]int, 0, len(res.raw))
+	for scale := range res.raw {
+		scales = append(scales, scale)
+	}
+	sort.Ints(scales)
 	var settings [][]float64
-	for _, perDataset := range res.raw {
-		for _, results := range perDataset {
+	for _, scale := range scales {
+		perDataset := res.raw[scale]
+		datasets := make([]string, 0, len(perDataset))
+		for name := range perDataset {
+			datasets = append(datasets, name)
+		}
+		sort.Strings(datasets)
+		for _, name := range datasets {
+			results := perDataset[name]
 			row := make([]float64, len(results))
 			for i, r := range results {
 				row[i] = r.MeanError()
