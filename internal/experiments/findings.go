@@ -186,9 +186,18 @@ func Finding10(o Options) error {
 	}
 	fmt.Fprintf(o.Out, "\nFinding 10 — algorithms beaten by baselines (1D, dataset-averaged)\n")
 	for _, scale := range o.scales1D() {
+		// Collect per-dataset errors in sorted dataset order: stats.Mean
+		// sums floats, so map order here would make the averages (and the
+		// beaten-by sets near a tie) nondeterministic.
+		perDataset := res.raw[scale]
+		datasets := make([]string, 0, len(perDataset))
+		for name := range perDataset {
+			datasets = append(datasets, name)
+		}
+		sort.Strings(datasets)
 		avg := map[string][]float64{}
-		for _, results := range res.raw[scale] {
-			for _, r := range results {
+		for _, name := range datasets {
+			for _, r := range perDataset[name] {
 				avg[r.Name] = append(avg[r.Name], r.MeanError())
 			}
 		}
