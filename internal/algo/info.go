@@ -1,0 +1,86 @@
+// Mechanism descriptions for listings. This lives with the registry rather
+// than in the release facade so that internal consumers (the serve layer's
+// /v1/mechanisms endpoint, dpbench -list) can describe mechanisms without
+// importing the facade: the facade wraps the internals, never the reverse.
+package algo
+
+import "dpbench/internal/noise"
+
+// Composition kinds reported by Info.
+const (
+	// CompositionSequential marks mechanisms whose declared budget spends
+	// all compose sequentially (they add up).
+	CompositionSequential = "sequential"
+	// CompositionParallel marks mechanisms whose declared spends all apply
+	// to disjoint data partitions (they compose by maximum).
+	CompositionParallel = "parallel"
+	// CompositionMixed marks mechanisms that declare both kinds.
+	CompositionMixed = "mixed"
+	// CompositionUndeclared marks mechanisms without a declared plan.
+	CompositionUndeclared = "undeclared"
+)
+
+// Info describes one registered mechanism for listings.
+type Info struct {
+	// Name is the benchmark identifier, e.g. "DAWA" or "MWEM*".
+	Name string `json:"name"`
+	// Dims lists the supported dimensionalities (subset of {1, 2}).
+	Dims []int `json:"dims"`
+	// DataDependent reports whether the mechanism's error distribution
+	// depends on the input data (Section 3.1 of the paper).
+	DataDependent bool `json:"data_dependent"`
+	// Composition summarizes the mechanism's declared budget-composition
+	// plan: "sequential", "parallel", or "mixed".
+	Composition string `json:"composition"`
+}
+
+// Describe returns an Info for every registered mechanism, sorted by name.
+func Describe() []Info {
+	names := Names()
+	out := make([]Info, 0, len(names))
+	for _, n := range names {
+		a, err := New(n)
+		if err != nil {
+			continue // unreachable: New resolves every name Names returns
+		}
+		var dims []int
+		for _, k := range []int{1, 2} {
+			if a.Supports(k) {
+				dims = append(dims, k)
+			}
+		}
+		out = append(out, Info{
+			Name:          n,
+			Dims:          dims,
+			DataDependent: a.DataDependent(),
+			Composition:   compositionKind(a),
+		})
+	}
+	return out
+}
+
+// compositionKind summarizes a mechanism's declared composition plan.
+func compositionKind(a Algorithm) string {
+	pl, ok := a.(Planner)
+	if !ok {
+		return CompositionUndeclared
+	}
+	var seq, par bool
+	for _, e := range pl.CompositionPlan() {
+		if e.Kind == noise.Parallel {
+			par = true
+		} else {
+			seq = true
+		}
+	}
+	switch {
+	case seq && par:
+		return CompositionMixed
+	case par:
+		return CompositionParallel
+	case seq:
+		return CompositionSequential
+	default:
+		return CompositionUndeclared
+	}
+}

@@ -33,7 +33,6 @@ import (
 	"dpbench/internal/dataset"
 	"dpbench/internal/noise"
 	"dpbench/internal/workload"
-	"dpbench/release"
 )
 
 // Request hardening bounds: a query request is fully decoded before any
@@ -163,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: no datasets registered; pass at least one of %s", strings.Join(datasetNames(), ", "))
 	}
 	if len(cfg.Mechanisms) == 0 {
-		return nil, fmt.Errorf("serve: no mechanisms registered; pass at least one of %s", strings.Join(release.Names(), ", "))
+		return nil, fmt.Errorf("serve: no mechanisms registered; pass at least one of %s", strings.Join(algo.Names(), ", "))
 	}
 	if len(cfg.Epsilons) == 0 {
 		return nil, fmt.Errorf("serve: no epsilons configured")
@@ -234,7 +233,7 @@ func New(cfg Config) (*Server, error) {
 			w = workload.RandomRange2D(dims[1], dims[0], 512, rand.New(rand.NewSource(cfg.Seed)))
 		}
 		for _, mechName := range cfg.Mechanisms {
-			m, err := release.New(mechName)
+			m, err := algo.New(mechName)
 			if err != nil {
 				return nil, fmt.Errorf("serve: registering mechanism: %w", err)
 			}
@@ -582,7 +581,7 @@ func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMechanisms(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, release.List())
+	writeJSON(w, http.StatusOK, algo.Describe())
 }
 
 // BudgetResponse is the body of GET /v1/budget.

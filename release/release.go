@@ -30,7 +30,6 @@ import (
 	"math/rand"
 
 	"dpbench/internal/algo"
-	"dpbench/internal/noise"
 	"dpbench/internal/vec"
 	"dpbench/internal/workload"
 	"dpbench/privacy"
@@ -232,53 +231,12 @@ type Info struct {
 
 // List describes every registered mechanism, sorted by name.
 func List() []Info {
-	names := algo.Names()
-	out := make([]Info, 0, len(names))
-	for _, n := range names {
-		a, err := algo.New(n)
-		if err != nil {
-			continue // unreachable: algo.All panics on a corrupt registry
-		}
-		var dims []int
-		for _, k := range []int{1, 2} {
-			if a.Supports(k) {
-				dims = append(dims, k)
-			}
-		}
-		out = append(out, Info{
-			Name:          n,
-			Dims:          dims,
-			DataDependent: a.DataDependent(),
-			Composition:   compositionKind(a),
-		})
+	descs := algo.Describe()
+	out := make([]Info, len(descs))
+	for i, d := range descs {
+		out[i] = Info(d)
 	}
 	return out
-}
-
-// compositionKind summarizes a mechanism's declared composition plan.
-func compositionKind(m Mechanism) string {
-	pl, ok := m.(algo.Planner)
-	if !ok {
-		return CompositionUndeclared
-	}
-	var seq, par bool
-	for _, e := range pl.CompositionPlan() {
-		if e.Kind == noise.Parallel {
-			par = true
-		} else {
-			seq = true
-		}
-	}
-	switch {
-	case seq && par:
-		return CompositionMixed
-	case par:
-		return CompositionParallel
-	case seq:
-		return CompositionSequential
-	default:
-		return CompositionUndeclared
-	}
 }
 
 // compile-time check that the privacy alias wiring stays sound: a Plan
