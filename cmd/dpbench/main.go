@@ -79,6 +79,7 @@ func runExperiments(args []string) int {
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the experiment grid (results are identical for any value)")
 		domain1D   = fs.Int("n", 0, "override the 1D domain size (0 = the grid's default; planned mechanisms scale to 2^20 bins)")
 		audit      = fs.Bool("audit", false, "verify the privacy-budget ledger after every trial (output is identical; fails fast on any budget-math bug)")
+		sampler    = fs.String("sampler", "legacy", "noise-sampler family: legacy (reference, golden-pinned stream) or fast (table-accelerated)")
 		list       = fs.Bool("list", false, "print the mechanism registry (name, dims, data dependence, composition) and exit")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -143,11 +144,17 @@ func runExperiments(args []string) int {
 		}()
 	}
 
+	samplerV, err := release.ParseSampler(*sampler)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-sampler: %v\n", err)
+		return 2
+	}
+
 	// Ctrl-C cancels the grid between cells instead of killing mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers, Audit: *audit, Domain1D: *domain1D, Ctx: ctx}
+	opt := experiments.Options{Out: os.Stdout, Quick: !*full, Seed: *seed, Workers: *workers, Audit: *audit, Domain1D: *domain1D, Sampler: samplerV, Ctx: ctx}
 
 	runners := map[string]func() error{
 		"fig1a":    func() error { _, err := experiments.Fig1a(opt); return err },
@@ -227,12 +234,18 @@ func runServe(args []string) int {
 		keyBudget   = fs.Float64("key-budget", 1.0, "total epsilon each API key may spend")
 		totalBudget = fs.Float64("total-budget", 0, "total epsilon spendable per dataset across all keys (0 = 10x key-budget)")
 		allowSeeded = fs.Bool("allow-seeded-queries", false, "accept client-pinned noise seeds (test/replay only: seeded releases are denoisable)")
+		sampler     = fs.String("sampler", "legacy", "noise-sampler family: legacy (reference) or fast (table-accelerated)")
 	)
 	fs.Parse(args)
 
 	epsilons, err := parseFloats(*epsList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "-eps: %v\n", err)
+		return 2
+	}
+	samplerV, err := release.ParseSampler(*sampler)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-sampler: %v\n", err)
 		return 2
 	}
 	srv, err := serve.New(serve.Config{
@@ -246,6 +259,7 @@ func runServe(args []string) int {
 		KeyBudget:          *keyBudget,
 		TotalBudget:        *totalBudget,
 		AllowSeededQueries: *allowSeeded,
+		Sampler:            samplerV,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)

@@ -10,6 +10,7 @@ import (
 	"dpbench/internal/algo"
 	"dpbench/internal/core"
 	"dpbench/internal/dataset"
+	"dpbench/internal/noise"
 	"dpbench/internal/workload"
 	"dpbench/release"
 )
@@ -199,4 +200,104 @@ func mustInternal(t *testing.T, names ...string) []algo.Algorithm {
 		out = append(out, a)
 	}
 	return out
+}
+
+// TestWithSamplerFacade pins the public sampler-selection path: a mechanism
+// built with release.WithSampler(SamplerFast) runs on exactly the stream the
+// internal algo.WithSamplerVersion wrapper draws, composes with other options
+// through the unwrap path, audits cleanly, and an unpinned mechanism stays
+// bit-identical to the legacy default.
+func TestWithSamplerFacade(t *testing.T) {
+	ds, err := dpbench.OpenDataset("MEDCOST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ds.Generate(rand.New(rand.NewSource(3)), 20_000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dpbench.Prefix(256)
+
+	fastPub, err := release.New("MWEM",
+		release.WithSampler(release.SamplerFast), release.WithMWEMRounds(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := release.Run(fastPub, x, w, 0.5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Internal path: the same pin applied directly around the algo type.
+	ref, err := algo.New("MWEM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.(*algo.MWEM).T = 6
+	ref.(*algo.MWEM).TFromSignal = nil
+	want, err := algo.WithSamplerVersion(ref, noise.SamplerFast).Run(x, w, 0.5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: facade fast run %v != internal fast run %v (bitwise)", i, got[i], want[i])
+		}
+	}
+
+	// The fast stream is a different stream than legacy on the same seed.
+	legacyPub, err := release.New("MWEM", release.WithMWEMRounds(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := release.Run(legacyPub, x, w, 0.5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range leg {
+		if got[i] != leg[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("fast and legacy runs drew identical outputs on one seed")
+	}
+
+	// Option order must not matter: the sampler pin is applied last either way.
+	swapped, err := release.New("MWEM",
+		release.WithMWEMRounds(6), release.WithSampler(release.SamplerFast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := release.Run(swapped, x, w, 0.5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("cell %d: option order changed the fast stream: %v vs %v", i, got[i], got2[i])
+		}
+	}
+
+	// A fast-pinned mechanism passes the budget audit like a legacy one.
+	if _, err := release.RunAudited(fastPub, x, w, 0.5, rand.New(rand.NewSource(11))); err != nil {
+		t.Fatalf("fast-pinned mechanism failed the audit: %v", err)
+	}
+
+	// ParseSampler round-trips the CLI spellings and rejects junk; an invalid
+	// version fails construction loudly.
+	if v, err := release.ParseSampler("fast"); err != nil || v != release.SamplerFast {
+		t.Fatalf("ParseSampler(fast) = %v, %v", v, err)
+	}
+	if v, err := release.ParseSampler(""); err != nil || v != release.SamplerLegacy {
+		t.Fatalf("ParseSampler(\"\") = %v, %v", v, err)
+	}
+	if _, err := release.ParseSampler("warp"); err == nil {
+		t.Fatal("ParseSampler must reject unknown names")
+	}
+	if _, err := release.New("MWEM", release.WithSampler(release.Sampler(42))); err == nil {
+		t.Fatal("New must reject an out-of-range sampler version")
+	}
 }

@@ -122,6 +122,11 @@ type mwemState struct {
 	// for the per-round selection. Nil for 2D (rectangles don't map to one
 	// segment-tree range). See mulSegTree for the numerical contract.
 	seg *mulSegTree
+
+	// prefixW marks a workload whose query k covers exactly [0, k]: every
+	// query answer is then one running sum over the leaves, so the fused
+	// fast selection skips building the prefix table entirely.
+	prefixW bool
 }
 
 func newMWEMState(w *workload.Workload, n, rounds int, scale float64) *mwemState {
@@ -138,6 +143,12 @@ func newMWEMState(w *workload.Workload, n, rounds int, scale float64) *mwemState
 	}
 	if len(w.Dims) == 1 {
 		st.seg = newMulSegTree(n)
+		st.prefixW = q == n
+		for k := 0; st.prefixW && k < n; k++ {
+			if lo, hi := w.Range(k); lo != 0 || hi != k {
+				st.prefixW = false
+			}
+		}
 	}
 	st.reset(scale)
 	return st
@@ -214,6 +225,69 @@ func (st *mwemState) selectQuery(trueAns []float64, epsSelect float64, m *noise.
 	q := m.ExpMechBuf("select", st.scores, 1, epsSelect, st.expBuf)
 	st.chosen[q] = true
 	return q
+}
+
+// selectQueryFast is selectQuery on the fast-sampler path for 1D workloads:
+// the meter supplies a vector of standard Gumbel draws (charged exactly like
+// the exponential-mechanism selection it implements), and one fused pass
+// computes each query's score straight off the prefix table, perturbs it, and
+// tracks the argmax — no estAns materialization, no score vector, no separate
+// selection scan. Already-chosen queries are skipped outright instead of
+// carrying a -Inf score; they could never win, so the selection distribution
+// is identical. The draw stream differs from routing through ExpMechBuf,
+// which is the fast-sampler contract (fast mode pins its own goldens).
+func (st *mwemState) selectQueryFast(trueAns []float64, epsSelect float64, m *noise.Meter) int {
+	leaves := st.seg.Leaves()
+	st.total = st.seg.Total()
+	if st.total > 0 {
+		st.norm = st.scale / st.total
+	}
+	gum := st.expBuf[:len(st.scores)]
+	if !m.ExpMechGumbels("select", gum, epsSelect) {
+		return 0
+	}
+	lambda := epsSelect / 2 // sensitivity 1, as in the ExpMechBuf call
+	norm := st.norm
+	best, bi := math.Inf(-1), -1
+	if st.prefixW {
+		// Prefix workload: query i covers [0, i], so one running sum over
+		// the leaves yields every raw answer in order — no prefix table.
+		// The sum accumulates over all leaves (chosen queries included);
+		// only the score/argmax step is skipped for chosen ones.
+		ta, ch, g := trueAns[:len(leaves)], st.chosen[:len(leaves)], gum[:len(leaves)]
+		var run float64
+		for i, leaf := range leaves {
+			run += leaf
+			if ch[i] {
+				continue
+			}
+			score := math.Abs(ta[i] - run*norm)
+			if v := lambda*score + g[i]; v > best {
+				best, bi = v, i
+			}
+		}
+	} else {
+		tbl := st.ev.Table1D()
+		tbl[0] = 0
+		for i, x := range leaves {
+			tbl[i+1] = tbl[i] + x
+		}
+		for i := range gum {
+			if st.chosen[i] {
+				continue
+			}
+			lo, hi := st.w.Range(i)
+			score := math.Abs(trueAns[i] - (tbl[hi+1]-tbl[lo])*norm)
+			if v := lambda*score + gum[i]; v > best {
+				best, bi = v, i
+			}
+		}
+	}
+	if bi < 0 {
+		bi = 0 // unreachable: rounds are clamped to the workload size
+	}
+	st.chosen[bi] = true
+	return bi
 }
 
 // replay applies one multiplicative-weights pass over the whole history,
@@ -333,7 +407,31 @@ type mwemPlan struct {
 	scale   float64
 	rounds  int // resolved at plan time when the scale is public
 	sweeps  int
-	states  sync.Pool // *mwemState
+	states  *sync.Pool // *mwemState, shared across plans (see mwemStatePool)
+}
+
+// mwemStatePool returns the process-wide state pool for (w, n). A state is
+// ~dozens of n-sized buffers plus the segment tree; sharing the pool across
+// plans lets repeated Plan/Execute cycles (each benchmark Run builds a fresh
+// plan) recycle states instead of re-allocating and zeroing them every time.
+// Keying by workload pointer pins the workload, which is fine for the
+// benchmark's bounded workload set (same contract as levelWeightsCache); the
+// query count rides along so a workload grown after first use misses.
+var mwemStatePools sync.Map // mwemStateKey -> *sync.Pool
+
+type mwemStateKey struct {
+	w    *workload.Workload
+	n, q int
+}
+
+func mwemStatePool(w *workload.Workload, n int) *sync.Pool {
+	key := mwemStateKey{w: w, n: n, q: w.Size()}
+	if v, ok := mwemStatePools.Load(key); ok {
+		return v.(*sync.Pool)
+	}
+	p := &sync.Pool{New: func() any { return newMWEMState(w, n, 8, 1) }}
+	v, _ := mwemStatePools.LoadOrStore(key, p)
+	return v.(*sync.Pool)
 }
 
 // Plan implements Algorithm.
@@ -359,7 +457,7 @@ func (m *MWEM) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, err
 	if m.ScaleRho <= 0 {
 		p.rounds = m.resolveRounds(eps, p.scale, w)
 	}
-	p.states.New = func() any { return newMWEMState(w, p.n, maxInt(p.rounds, 8), p.scale) }
+	p.states = mwemStatePool(w, p.n)
 	return p, nil
 }
 
@@ -402,9 +500,18 @@ func (p *mwemPlan) Execute(mt *noise.Meter, out []float64) error {
 	st.reset(scale)
 	epsRound := epsLeft / float64(rounds)
 
+	// The fused fast selection needs the segment tree (1D workloads only);
+	// 2D and legacy trials take the materializing path.
+	fastSelect := mt.Sampler() == noise.SamplerFast && st.seg != nil
+
 	for t := 0; t < rounds; t++ {
 		// Select the worst-approximated query with half the round budget.
-		q := st.selectQuery(p.trueAns, epsRound/2, mt)
+		var q int
+		if fastSelect {
+			q = st.selectQueryFast(p.trueAns, epsRound/2, mt)
+		} else {
+			q = st.selectQuery(p.trueAns, epsRound/2, mt)
+		}
 		// Measure it with the other half (noise scale 2/epsRound is
 		// sensitivity 1 over a spend of epsRound/2).
 		meas := p.trueAns[q] + mt.Laplace("measure", 2/epsRound, epsRound/2)

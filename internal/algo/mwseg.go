@@ -20,6 +20,17 @@ type mulSegTree struct {
 	sum  []float64 // 1-indexed segment sums, fully updated at each node
 	lazy []float64 // pending multiplier for the node's children (internal nodes)
 
+	// dirt[v] marks internal nodes whose subtree may hold a pending
+	// multiplier (lazy != 1 at the node or any descendant). Materialization
+	// walks only dirty subtrees: between selection rounds MWEM's updates
+	// touch O(history * log n) nodes, so the full-tree push loop — formerly
+	// the dominant cost of PrefixTableInto — shrinks to the touched paths.
+	// Every write that makes a lazy non-trivial marks the node and (via the
+	// descent paths) its ancestors, so a clean bit proves the subtree's
+	// leaves are final. Skipped pushes are all f == 1 no-ops, so the
+	// materialized values are bit-identical to the full loop's.
+	dirt []bool
+
 	// Scratch for the fused sum-then-multiply descent: the canonical cover
 	// nodes of the queried range and the partially-covered ancestors.
 	cover []int32
@@ -35,11 +46,18 @@ func newMulSegTree(n int) *mulSegTree {
 	for s := m; s > 1; s >>= 1 {
 		depth++
 	}
-	return &mulSegTree{
+	t := &mulSegTree{
 		n: n, m: m,
 		sum: make([]float64, 2*m), lazy: make([]float64, 2*m),
+		dirt:  make([]bool, m),
 		cover: make([]int32, 0, 2*depth), path: make([]int32, 0, 2*depth),
 	}
+	// Establish the clean-tree invariant (all lazy 1, all dirt false) that
+	// fill relies on to skip its clearing passes.
+	for i := range t.lazy {
+		t.lazy[i] = 1
+	}
+	return t
 }
 
 // fill initializes every cell of [0, n) to v and clears all pending lazies.
@@ -53,8 +71,16 @@ func (t *mulSegTree) fill(v float64) {
 	for i := t.m - 1; i >= 1; i-- {
 		t.sum[i] = t.sum[2*i] + t.sum[2*i+1]
 	}
-	for i := range t.lazy {
-		t.lazy[i] = 1
+	// dirt[1] clear proves every internal lazy is already 1 (the invariant
+	// pushDirtyTree restores), so the steady-state trial reset — fill after
+	// a full materialization — skips both clearing passes.
+	if t.dirt[1] {
+		for i := range t.lazy {
+			t.lazy[i] = 1
+		}
+		for i := range t.dirt {
+			t.dirt[i] = false
+		}
 	}
 }
 
@@ -73,6 +99,7 @@ func (t *mulSegTree) push(v int) {
 	if l < t.m {
 		t.lazy[l] *= f
 		t.lazy[r] *= f
+		t.dirt[l], t.dirt[r] = true, true
 	}
 	t.lazy[v] = 1
 }
@@ -88,10 +115,12 @@ func (t *mulSegTree) mul(v, l, r, lo, hi int, f float64) {
 		t.sum[v] *= f
 		if v < t.m {
 			t.lazy[v] *= f
+			t.dirt[v] = true
 		}
 		return
 	}
 	t.push(v)
+	t.dirt[v] = true
 	mid := (l + r) / 2
 	t.mul(2*v, l, mid, lo, hi, f)
 	t.mul(2*v+1, mid, r, lo, hi, f)
@@ -172,21 +201,56 @@ func (t *mulSegTree) ApplyCollected(f float64) {
 		t.sum[v] *= f
 		if int(v) < t.m {
 			t.lazy[v] *= f
+			t.dirt[v] = true
 		}
 	}
 	for i := len(t.path) - 1; i >= 0; i-- {
 		v := t.path[i]
 		t.sum[v] = t.sum[2*v] + t.sum[2*v+1]
+		t.dirt[v] = true
+	}
+}
+
+// pushDirtyTree pushes every pending multiplier in v's subtree down to the
+// leaves, descending only through dirty nodes; clean subtrees are proven
+// lazy-free, so skipping them changes nothing. Each dirty node performs the
+// identical parent-before-child arithmetic as the full-tree push loop.
+func (t *mulSegTree) pushDirtyTree(v int) {
+	if !t.dirt[v] {
+		return
+	}
+	t.dirt[v] = false
+	if f := t.lazy[v]; f != 1 {
+		l, r := 2*v, 2*v+1
+		t.sum[l] *= f
+		t.sum[r] *= f
+		if l < t.m {
+			t.lazy[l] *= f
+			t.lazy[r] *= f
+			t.dirt[l], t.dirt[r] = true, true
+		}
+		t.lazy[v] = 1
+	}
+	if 2*v < t.m {
+		t.pushDirtyTree(2 * v)
+		t.pushDirtyTree(2*v + 1)
 	}
 }
 
 // MaterializeInto pushes every pending multiplier down and copies the leaf
 // values of [0, n) into out. The tree remains valid and unchanged in value.
 func (t *mulSegTree) MaterializeInto(out []float64) {
-	for v := 1; v < t.m; v++ {
-		t.push(v)
-	}
+	t.pushDirtyTree(1)
 	copy(out, t.sum[t.m:t.m+t.n])
+}
+
+// Leaves pushes every pending multiplier down and returns the live leaf
+// slice [0, n) — MaterializeInto minus the copy, for callers that only read
+// (MWEM's fused fast selection streams the leaves directly). The slice
+// aliases the tree and is invalidated by the next mutating call.
+func (t *mulSegTree) Leaves() []float64 {
+	t.pushDirtyTree(1)
+	return t.sum[t.m : t.m+t.n]
 }
 
 // PrefixTableInto materializes the leaves directly into prefix-sum form
@@ -194,9 +258,7 @@ func (t *mulSegTree) MaterializeInto(out []float64) {
 // accumulation workload.Evaluator.Reset performs — skipping the intermediate
 // estimate vector on MWEM's per-round selection path.
 func (t *mulSegTree) PrefixTableInto(table []float64) {
-	for v := 1; v < t.m; v++ {
-		t.push(v)
-	}
+	t.pushDirtyTree(1)
 	table[0] = 0
 	leaves := t.sum[t.m : t.m+t.n]
 	for i, x := range leaves {

@@ -70,7 +70,15 @@ func runPlanMeter(a Algorithm, x *vec.Vector, w *workload.Workload, m *noise.Met
 // plan-path counterpart of RunAudited, used by the experiment runner's trial
 // loop so auditing keeps amortizing structure across trials.
 func ExecuteAudited(a Algorithm, p Plan, eps float64, rng *rand.Rand, out []float64) error {
-	m, err := noise.NewAuditedMeter(eps, rng)
+	return ExecuteAuditedV(a, p, eps, rng, noise.SamplerLegacy, out)
+}
+
+// ExecuteAuditedV is ExecuteAudited with an explicit sampler version. The
+// ledger records budget charges, not noise values, so a fast-sampler trial
+// must pass the identical sum-to-eps and composition-plan checks a legacy
+// trial does (the audit cross-check test pins this).
+func ExecuteAuditedV(a Algorithm, p Plan, eps float64, rng *rand.Rand, v noise.SamplerVersion, out []float64) error {
+	m, err := noise.NewAuditedMeterV(eps, rng, v)
 	if err != nil {
 		return err
 	}

@@ -2,8 +2,18 @@
 // other packages (no want comments: the analyzer must stay silent here).
 package experiments
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"dpbench/internal/noise"
+)
 
 func seeded() float64 {
 	return rand.New(rand.NewSource(1)).Float64()
+}
+
+// The fast-sampler gate is also scoped to internal/algo: the noise package's
+// own tests and benchmarks call the raw samplers freely.
+func fastElsewhere(rng *rand.Rand) float64 {
+	return noise.FastLaplace(rng, 2)
 }

@@ -17,8 +17,17 @@ func Laplace(rng *rand.Rand, scale float64) float64 {
 	if scale <= 0 {
 		return 0
 	}
-	// Inverse CDF: u uniform on (-1/2, 1/2).
-	u := rng.Float64() - 0.5
+	// Inverse CDF: u uniform on (-1/2, 1/2). Float64 returns [0, 1), so the
+	// raw uniform can be exactly 0, which would make 1+2u exactly 0 and the
+	// draw -Inf — an infinite release. Clamp that single value to the
+	// smallest positive double the stream produces (the same (0, 1] guard
+	// Geometric applies); every other draw is untouched, so the legacy
+	// stream stays bit-identical.
+	f := rng.Float64()
+	if f == 0 {
+		f = 0x1p-53
+	}
+	u := f - 0.5
 	if u < 0 {
 		return scale * math.Log(1+2*u)
 	}

@@ -111,6 +111,11 @@ type Config struct {
 	// removable — by anyone who knows the seed, so it exists for tests and
 	// replay tooling only; the default (false) rejects seeded requests.
 	AllowSeededQueries bool
+	// Sampler selects the noise-sampler family every query meter runs under
+	// (the -sampler CLI flag). The zero value is the legacy reference
+	// sampler; SamplerFast serves the table-accelerated family. Both sample
+	// the same distributions, so the served privacy guarantees are identical.
+	Sampler noise.SamplerVersion
 }
 
 // cell is one precompiled (dataset, mechanism, epsilon) release pipeline.
@@ -465,7 +470,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := c.scratch.Get().(*queryScratch)
 	defer c.scratch.Put(sc)
-	if err := c.plan.Execute(noise.NewMeter(req.Epsilon, rng), sc.est); err != nil {
+	if err := c.plan.Execute(noise.NewMeterV(req.Epsilon, rng, s.cfg.Sampler), sc.est); err != nil {
 		// The budget was charged but no release happened; refund by
 		// resetting is unsound (ledger history), so surface the failure.
 		writeError(w, http.StatusInternalServerError, "mechanism execution failed: %v", err)
@@ -561,12 +566,16 @@ type CellInfo struct {
 	Epsilon   float64 `json:"epsilon"`
 	Dims      []int   `json:"dims"`
 	Scale     float64 `json:"scale"`
+	// Sampler reports the noise-sampler family the server draws from
+	// ("legacy" or "fast"); it is server-wide, repeated per cell so roster
+	// consumers need no second endpoint.
+	Sampler string `json:"sampler"`
 }
 
 func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
 	out := make([]CellInfo, 0, len(s.cells))
 	for _, c := range s.cells {
-		out = append(out, CellInfo{Dataset: c.dataset, Mechanism: c.mech, Epsilon: c.eps, Dims: c.dims, Scale: c.scale})
+		out = append(out, CellInfo{Dataset: c.dataset, Mechanism: c.mech, Epsilon: c.eps, Dims: c.dims, Scale: c.scale, Sampler: s.cfg.Sampler.String()})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dataset != out[j].Dataset {

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSStatisticExactGrid(t *testing.T) {
+	// A perfectly spaced uniform sample at the midpoints i+0.5 of n bins has
+	// empirical CDF within 1/(2n) of the uniform CDF everywhere.
+	const n = 100
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = (float64(i) + 0.5) / n
+	}
+	d := KSStatistic(sample, func(x float64) float64 { return x })
+	if math.Abs(d-1.0/(2*n)) > 1e-12 {
+		t.Fatalf("KS of midpoint grid = %v, want %v", d, 1.0/(2*n))
+	}
+}
+
+func TestKSStatisticDetectsWrongCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = rng.Float64() // uniform
+	}
+	// Against the wrong hypothesis (Uniform^2's CDF sqrt(x)) the statistic
+	// must blow well past the 0.001-level critical value; against the right
+	// one it must stay under it.
+	wrong := KSStatistic(sample, math.Sqrt)
+	right := KSStatistic(sample, func(x float64) float64 { return x })
+	crit := KSCriticalValue(len(sample), 1e-3)
+	if wrong < crit {
+		t.Fatalf("KS against wrong CDF = %v, expected > critical %v", wrong, crit)
+	}
+	if right > crit {
+		t.Fatalf("KS against true CDF = %v, expected < critical %v", right, crit)
+	}
+}
+
+func TestKSCriticalValueKnown(t *testing.T) {
+	// The classical alpha = 0.05 asymptotic constant is 1.358/sqrt(n).
+	got := KSCriticalValue(10_000, 0.05)
+	want := 1.3581 / 100
+	if math.Abs(got-want) > 1e-4 {
+		t.Fatalf("KS critical value = %v, want about %v", got, want)
+	}
+	if !math.IsNaN(KSCriticalValue(0, 0.05)) || !math.IsNaN(KSCriticalValue(10, 0)) {
+		t.Fatal("invalid arguments must yield NaN")
+	}
+}
+
+func TestChiSquareStatistic(t *testing.T) {
+	if x := ChiSquareStatistic([]float64{10, 20, 30}, []float64{10, 20, 30}); x != 0 {
+		t.Fatalf("exact match must score 0, got %v", x)
+	}
+	// One bin off by 3 with expectation 9 contributes exactly 1.
+	if x := ChiSquareStatistic([]float64{12, 20}, []float64{9, 20}); math.Abs(x-1) > 1e-12 {
+		t.Fatalf("X2 = %v, want 1", x)
+	}
+	if !math.IsNaN(ChiSquareStatistic([]float64{1}, []float64{1, 2})) {
+		t.Fatal("length mismatch must yield NaN")
+	}
+	if !math.IsNaN(ChiSquareStatistic([]float64{1}, []float64{0})) {
+		t.Fatal("non-positive expectation must yield NaN")
+	}
+}
+
+func TestChiSquareCriticalValueKnown(t *testing.T) {
+	// Table values: chi2(0.95; 10) = 18.307, chi2(0.99; 30) = 50.892. The
+	// Wilson-Hilferty approximation is good to well under 1% here.
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{10, 0.05, 18.307},
+		{30, 0.01, 50.892},
+		{63, 0.001, 103.442},
+	}
+	for _, c := range cases {
+		got := ChiSquareCriticalValue(c.df, c.alpha)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Fatalf("chi2 critical(df=%d, alpha=%v) = %v, want about %v", c.df, c.alpha, got, c.want)
+		}
+	}
+	if !math.IsNaN(ChiSquareCriticalValue(0, 0.05)) || !math.IsNaN(ChiSquareCriticalValue(5, 1)) {
+		t.Fatal("invalid arguments must yield NaN")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.999, 3.090232},
+		{0.001, -3.090232},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Fatalf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(NormalQuantile(0)) || !math.IsNaN(NormalQuantile(1)) {
+		t.Fatal("quantile outside (0,1) must yield NaN")
+	}
+}
