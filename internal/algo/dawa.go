@@ -236,7 +236,7 @@ func (d *DAWA) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, err
 	}
 
 	p.bufs.New = func() any {
-		return &dawaScratch{
+		sc := &dawaScratch{
 			fsc:        tree.NewScratch(),
 			costs:      make([]float64, len(p.cands)),
 			best:       make([]float64, n+1),
@@ -245,10 +245,18 @@ func (d *DAWA) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, err
 			bucketData: make([]float64, n),
 			bucketEst:  make([]float64, n),
 		}
+		if p.perm != nil {
+			// 2D: the Hilbert inverse permutation scatters a full
+			// linearized estimate into out, so the buffer is part of the
+			// scratch, not a per-trial allocation.
+			sc.est = make([]float64, n)
+		}
+		return sc
 	}
 	return p, nil
 }
 
+//dp:hotpath
 func (p *dawaPlan) Execute(m *noise.Meter, out []float64) error {
 	sc := p.bufs.Get().(*dawaScratch)
 	defer p.bufs.Put(sc)
@@ -271,10 +279,14 @@ func (p *dawaPlan) Execute(m *noise.Meter, out []float64) error {
 	}
 	weights := p.bucketWeights(sc, &sc.ftree, bounds, k)
 	bucketEst := sc.bucketEst[:k]
+	// The pooled tree scratch is pinned to a local for the whole
+	// compute→measure→infer sequence: the raw bucket sums written by
+	// ComputeSums only ever leave it through MeasureInto's metered draws.
+	fsc := sc.fsc
 	m.ResetSub(&sc.sub, "stage2", p.eps2, false)
-	sc.ftree.ComputeSums(bucketData, sc.fsc)
-	sc.ftree.MeasureInto(&sc.sub, sc.fsc, levelBudgetFromWeights(p.eps2, sc.ftree.Height(), weights))
-	sc.ftree.InferInto(sc.fsc, bucketEst)
+	sc.ftree.ComputeSums(bucketData, fsc)
+	sc.ftree.MeasureInto(&sc.sub, fsc, levelBudgetFromWeights(p.eps2, sc.ftree.Height(), weights))
+	sc.ftree.InferInto(fsc, bucketEst)
 	sc.sub.Close()
 
 	if p.perm == nil {
@@ -282,9 +294,6 @@ func (p *dawaPlan) Execute(m *noise.Meter, out []float64) error {
 			uniformSpread(out, bounds[i], bounds[i+1], bucketEst[i])
 		}
 		return m.Err()
-	}
-	if sc.est == nil {
-		sc.est = make([]float64, p.n)
 	}
 	for i := 0; i < k; i++ {
 		uniformSpread(sc.est, bounds[i], bounds[i+1], bucketEst[i])

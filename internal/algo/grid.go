@@ -81,7 +81,11 @@ func (u *UGrid) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, er
 		c = 10
 	}
 	ny, nx := x.Dims[0], x.Dims[1]
-	p := &ugridPlan{data: x.Data, nx: nx, ny: ny, eps: eps, c: c, scaleRho: u.ScaleRho, scale: x.Scale()}
+	p := &ugridPlan{data: x.Data, nx: nx, ny: ny, eps: eps, c: c, scaleRho: u.ScaleRho}
+	// The grid layout is sized from the dataset scale as declared public
+	// side information (the original UGrid treats N as known); ScaleRho > 0
+	// switches to a metered per-trial estimate in Execute.
+	p.scale = x.Scale() //dp:public Pside declared side information (HayMMCZ16 Principle 7)
 	if u.ScaleRho > 0 {
 		return p, nil // layout depends on the per-trial noisy scale
 	}
@@ -93,6 +97,7 @@ func (u *UGrid) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, er
 	return p, nil
 }
 
+//dp:hotpath
 func (p *ugridPlan) Execute(m *noise.Meter, out []float64) error {
 	if p.totals != nil {
 		spreadNoisyGrid(m, "cells", p.totals, p.xb, p.yb, p.nx, p.epsCells, out)
@@ -223,7 +228,14 @@ type agridPlan struct {
 	eps1, eps2 float64
 	xb, yb     []int
 	totals     []float64
-	bufs       sync.Pool // *[]float64 second-level scratch, max coarse cell area
+	bufs       sync.Pool // *agridScratch per-trial working buffers
+}
+
+// agridScratch recycles one trial's working buffers: the second-level
+// region counts and, under Rside, the per-trial coarse grid boundaries.
+type agridScratch struct {
+	sub    []float64
+	xb, yb []int
 }
 
 // Plan implements Algorithm.
@@ -248,9 +260,24 @@ func (a *AGrid) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, er
 	ny, nx := x.Dims[0], x.Dims[1]
 	p := &agridPlan{
 		data: x.Data, nx: nx, ny: ny, eps: eps,
-		c: c, c2: c2, rho: rho, scaleRho: a.ScaleRho, scale: x.Scale(),
+		c: c, c2: c2, rho: rho, scaleRho: a.ScaleRho,
 	}
+	// The coarse grid is sized from the dataset scale as declared public
+	// side information (AGrid's m1 formula); ScaleRho > 0 switches to a
+	// metered per-trial estimate in Execute.
+	p.scale = x.Scale() //dp:public Pside declared side information (HayMMCZ16 Principle 7)
 	if a.ScaleRho > 0 {
+		// Rside: the layout is re-derived per trial, so the scratch must
+		// cover the worst case — one coarse cell spanning the whole domain
+		// and boundary slices at the maximum grid side.
+		p.bufs.New = func() any {
+			side := minInt(nx, ny) + 1
+			return &agridScratch{
+				sub: make([]float64, nx*ny),
+				xb:  make([]int, side),
+				yb:  make([]int, side),
+			}
+		}
 		return p, nil
 	}
 	p.eps1 = rho * eps
@@ -268,11 +295,14 @@ func (a *AGrid) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, er
 			}
 		}
 	}
-	p.bufs.New = func() any { b := make([]float64, maxArea); return &b }
+	p.bufs.New = func() any { return &agridScratch{sub: make([]float64, maxArea)} }
 	return p, nil
 }
 
+//dp:hotpath
 func (p *agridPlan) Execute(m *noise.Meter, out []float64) error {
+	sc := p.bufs.Get().(*agridScratch)
+	defer p.bufs.Put(sc)
 	epsLeft, scale := p.eps, p.scale
 	eps1, eps2 := p.eps1, p.eps2
 	xb, yb, totals := p.xb, p.yb, p.totals
@@ -288,16 +318,11 @@ func (p *agridPlan) Execute(m *noise.Meter, out []float64) error {
 		eps2 = (1 - p.rho) * epsLeft
 		m1 := int(math.Max(10, math.Sqrt(scale*epsLeft/p.c)/2))
 		m1 = clampInt(m1, 1, minInt(p.nx, p.ny))
-		xb = gridBounds(p.nx, m1)
-		yb = gridBounds(p.ny, m1)
+		xb = gridBoundsInto(sc.xb, p.nx, m1)
+		yb = gridBoundsInto(sc.yb, p.ny, m1)
 		totals = nil
 	}
-	var sub []float64
-	if p.totals != nil {
-		buf := p.bufs.Get().(*[]float64)
-		defer p.bufs.Put(buf)
-		sub = *buf
-	}
+	sub := sc.sub
 	idx := 0
 	for yi := 0; yi+1 < len(yb); yi++ {
 		for xi := 0; xi+1 < len(xb); xi++ {
@@ -322,12 +347,7 @@ func (p *agridPlan) Execute(m *noise.Meter, out []float64) error {
 			m2 := int(math.Sqrt(level1 * eps2 / p.c2))
 			m2 = clampInt(m2, 1, minInt(x1-x0, y1-y0))
 			area := (x1 - x0) * (y1 - y0)
-			var region []float64
-			if sub != nil {
-				region = sub[:area]
-			} else {
-				region = make([]float64, area)
-			}
+			region := sub[:area]
 			measureRegion(m, "level2", p.data, p.nx, x0, y0, x1, y1, m2, m2, eps2, region)
 			// Consistency: rescale the level-2 cells to match level 1.
 			var subTotal float64
@@ -377,11 +397,24 @@ func gridBounds(n, m int) []int {
 	if m < 1 {
 		m = 1
 	}
-	out := make([]int, m+1)
-	for i := 0; i <= m; i++ {
-		out[i] = n * i / m
+	return gridBoundsInto(make([]int, m+1), n, m)
+}
+
+// gridBoundsInto is gridBounds writing into dst's backing array, whose
+// capacity must be at least m+1: the Rside hot path re-derives the coarse
+// layout per trial and must not allocate.
+func gridBoundsInto(dst []int, n, m int) []int {
+	if m > n {
+		m = n
 	}
-	return out
+	if m < 1 {
+		m = 1
+	}
+	dst = dst[:m+1]
+	for i := 0; i <= m; i++ {
+		dst[i] = n * i / m
+	}
+	return dst
 }
 
 // measureGrid measures an mx x my equi-width grid over the whole region with
