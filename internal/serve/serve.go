@@ -255,7 +255,11 @@ func New(cfg Config) (*Server, error) {
 				if len(dims) == 2 {
 					tableLen = (dims[0] + 1) * (dims[1] + 1)
 				}
-				c := &cell{dataset: ds.Name, mech: mechName, eps: eps, dims: dims, plan: p, scale: x.Scale()}
+				c := &cell{dataset: ds.Name, mech: mechName, eps: eps, dims: dims, plan: p}
+				// Served by /v1/cells so clients can size workloads: the
+				// dataset scale is declared public side information, the same
+				// audited exemption the Pside mechanisms rely on.
+				c.scale = x.Scale() //dp:public dataset scale is declared side information (HayMMCZ16 Principle 7)
 				c.scratch.New = func() any {
 					return &queryScratch{est: make([]float64, n), table: make([]float64, tableLen)}
 				}
@@ -488,21 +492,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// answerQueries computes every requested query from the released estimate by
-// prefix sums (1D) or a summed-area table (2D), rebuilt into the pooled
-// scratch — the answers slice is the only per-request allocation on this
-// path. Queries were validated before any budget was charged.
+// answerQueries computes every requested query from the released estimate —
+// the answers slice is the only per-request allocation on this path.
+// Queries were validated before any budget was charged.
 func answerQueries(req *QueryRequest, dims []int, sc *queryScratch) []float64 {
+	fillAnswerTable(dims, sc)
 	if len(dims) == 1 {
-		table := sc.table // len n+1; table[0] == 0 from construction
-		for i, v := range sc.est {
-			table[i+1] = table[i] + v
-		}
+		table := sc.table
 		answers := make([]float64, len(req.Ranges))
 		for i, q := range req.Ranges {
 			answers[i] = table[q.Hi+1] - table[q.Lo]
 		}
 		return answers
+	}
+	stride := dims[1] + 1
+	sat := sc.table
+	answers := make([]float64, len(req.Rects))
+	for i, q := range req.Rects {
+		answers[i] = sat[(q.Y1+1)*stride+q.X1+1] - sat[q.Y0*stride+q.X1+1] -
+			sat[(q.Y1+1)*stride+q.X0] + sat[q.Y0*stride+q.X0]
+	}
+	return answers
+}
+
+// fillAnswerTable rebuilds the prefix sums (1D) or the summed-area table
+// (2D) of the released estimate into the pooled scratch. This is the
+// domain-sized piece of per-request answering and must not allocate.
+//
+//dp:hotpath
+func fillAnswerTable(dims []int, sc *queryScratch) {
+	if len(dims) == 1 {
+		table := sc.table // len n+1; table[0] == 0 from construction
+		for i, v := range sc.est {
+			table[i+1] = table[i] + v
+		}
+		return
 	}
 	ny, nx := dims[0], dims[1]
 	stride := nx + 1
@@ -514,12 +538,6 @@ func answerQueries(req *QueryRequest, dims []int, sc *queryScratch) []float64 {
 			row[x+1] = sc.est[y*nx+x] + prev[x+1] + row[x] - prev[x]
 		}
 	}
-	answers := make([]float64, len(req.Rects))
-	for i, q := range req.Rects {
-		answers[i] = sat[(q.Y1+1)*stride+q.X1+1] - sat[q.Y0*stride+q.X1+1] -
-			sat[(q.Y1+1)*stride+q.X0] + sat[q.Y0*stride+q.X0]
-	}
-	return answers
 }
 
 // validateQueries checks the request's queries against the cell's domain, so
