@@ -52,6 +52,7 @@ type treePlan struct {
 	budget []float64
 }
 
+//dp:hotpath
 func (p *treePlan) Execute(m *noise.Meter, out []float64) error {
 	flatTreeEstimate(p.flat, p.data, p.budget, m, out)
 	return m.Err()
@@ -73,7 +74,7 @@ func (h *H) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error)
 	if err != nil {
 		return nil, err
 	}
-	return &treePlan{flat: flat, data: x.Data, budget: tree.UniformLevelBudget(eps, flat.Height())}, nil
+	return newTreePlan(flat, x.Data, tree.UniformLevelBudget(eps, flat.Height())), nil
 }
 
 // CompositionPlan implements Planner.
@@ -135,7 +136,7 @@ func (Hb) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &treePlan{flat: flat, data: x.Data, budget: tree.UniformLevelBudget(eps, flat.Height())}, nil
+	return newTreePlan(flat, x.Data, tree.UniformLevelBudget(eps, flat.Height())), nil
 }
 
 // CompositionPlan implements Planner.

@@ -174,6 +174,15 @@ func hilbertLinearizeCached(data []float64, side int) ([]float64, []int, error) 
 // flatTreeEstimator is the shared per-trial core of the hierarchical
 // mechanisms: sums, measure, infer over a cached flat tree. out must have
 // length flat.N().
+// newTreePlan builds the shared fixed-structure plan, pre-warming the flat
+// tree's scratch pool: without this the first Execute pays the tree-sized
+// scratch allocation, which reads as a cold-iteration artifact in timed
+// benchmark loops (and as first-request latency in serve).
+func newTreePlan(flat *tree.Flat, data []float64, budget []float64) *treePlan {
+	flat.Release(flat.Acquire())
+	return &treePlan{flat: flat, data: data, budget: budget}
+}
+
 func flatTreeEstimate(f *tree.Flat, data []float64, budget []float64, m *noise.Meter, out []float64) {
 	sc := f.Acquire()
 	f.ComputeSums(data, sc)

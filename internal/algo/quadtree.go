@@ -61,7 +61,7 @@ func (q *QuadTree) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan,
 	if err != nil {
 		return nil, err
 	}
-	return &treePlan{flat: flat, data: x.Data, budget: tree.GeometricLevelBudget(eps, flat.Height())}, nil
+	return newTreePlan(flat, x.Data, tree.GeometricLevelBudget(eps, flat.Height())), nil
 }
 
 // CompositionPlan implements Planner.
@@ -157,6 +157,7 @@ func (t *HybridTree) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Pla
 	}, nil
 }
 
+//dp:hotpath
 func (p *hybridPlan) Execute(m *noise.Meter, out []float64) error {
 	// Noisy marginals drive the kd splits; each level of splits touches
 	// disjoint regions so the levels share epsStruct evenly.
@@ -243,10 +244,10 @@ func noisyMarginal(data []float64, nx int, r tree.Rect, overX bool, eps float64,
 			}
 		}
 	}
-	for i := range marg {
-		marg[i] += m.LaplacePar(label, 1/eps, eps)
-	}
-	return marg
+	// One parallel scope for the whole marginal: the bins partition the
+	// region, so the vectorized parallel draw charges eps once instead of
+	// recording a ledger spend per bin.
+	return m.LaplaceVecParInto(label, marg, marg, 1/eps, eps)
 }
 
 func maxInt(a, b int) int {
