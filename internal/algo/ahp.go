@@ -107,7 +107,10 @@ func (a *AHP) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, erro
 	}
 	rho, eta := a.Rho, a.Eta
 	if a.Trained != nil {
-		rho, eta = a.Trained(eps * x.Scale())
+		// The trained profile is a function of the signal strength
+		// eps*scale only — the scale enters as declared public side
+		// information, never the cell counts.
+		rho, eta = a.Trained(eps * x.Scale()) //dp:public Pside declared side information (HayMMCZ16 Principle 7)
 	}
 	if rho <= 0 || rho >= 1 {
 		rho = 0.5
@@ -124,6 +127,7 @@ func (a *AHP) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, erro
 	return p, nil
 }
 
+//dp:hotpath
 func (p *ahpPlan) Execute(m *noise.Meter, out []float64) error {
 	sc := p.bufs.Get().(*ahpScratch)
 	defer p.bufs.Put(sc)

@@ -90,6 +90,7 @@ func (d *DPCube) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, e
 	return p, nil
 }
 
+//dp:hotpath
 func (p *dpcubePlan) Execute(m *noise.Meter, out []float64) error {
 	sc := p.bufs.Get().(*dpcubeScratch)
 	defer p.bufs.Put(sc)

@@ -118,6 +118,7 @@ func (EFPA) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error)
 	return p, nil
 }
 
+//dp:hotpath
 func (p *efpaPlan) Execute(m *noise.Meter, out []float64) error {
 	sc := p.bufs.Get().(*efpaScratch)
 	defer p.bufs.Put(sc)

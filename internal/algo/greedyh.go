@@ -107,6 +107,7 @@ func (g *GreedyH) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, 
 	}
 }
 
+//dp:hotpath
 func (p *greedyHPlan) Execute(m *noise.Meter, out []float64) error {
 	if p.perm == nil {
 		flatTreeEstimate(p.flat, p.data, p.budget, m, out)

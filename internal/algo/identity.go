@@ -50,6 +50,7 @@ func (Identity) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, er
 	return &identityPlan{data: x.Data, eps: eps}, nil
 }
 
+//dp:hotpath
 func (p *identityPlan) Execute(m *noise.Meter, out []float64) error {
 	m.LaplaceMechanismInto("cells", out, p.data, 1, p.eps)
 	return m.Err()
@@ -103,6 +104,7 @@ func (Uniform) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, err
 	return &uniformPlan{scale: x.Scale(), eps: eps}, nil
 }
 
+//dp:hotpath
 func (p *uniformPlan) Execute(m *noise.Meter, out []float64) error {
 	total := p.scale + m.Laplace("total", 1/p.eps, p.eps)
 	if total < 0 {

@@ -452,7 +452,11 @@ func (m *MWEM) Plan(x *vec.Vector, w *workload.Workload, eps float64) (Plan, err
 	}
 	p := &mwemPlan{
 		m: m, w: w, trueAns: trueAns, n: x.N(),
-		eps: eps, scale: x.Scale(), sweeps: sweeps,
+		eps: eps, sweeps: sweeps,
+		// Pside: the dataset scale is declared public side information
+		// (HayMMCZ16 Principle 7). Rside (ScaleRho > 0) ignores this value
+		// as-is and re-estimates it with a metered draw in Execute.
+		scale: x.Scale(), //dp:public Pside declared side information; Rside noises it per trial
 	}
 	if m.ScaleRho <= 0 {
 		p.rounds = m.resolveRounds(eps, p.scale, w)

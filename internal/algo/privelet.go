@@ -113,6 +113,7 @@ type priveletPlan1D struct {
 	bufs   sync.Pool // *haarScratch
 }
 
+//dp:hotpath
 func (p *priveletPlan1D) Execute(m *noise.Meter, out []float64) error {
 	sc := p.bufs.Get().(*haarScratch)
 	defer p.bufs.Put(sc)
@@ -173,6 +174,7 @@ type priveletPlan2D struct {
 	bufs           sync.Pool // *haar2DScratch
 }
 
+//dp:hotpath
 func (p *priveletPlan2D) Execute(m *noise.Meter, out []float64) error {
 	sc := p.bufs.Get().(*haar2DScratch)
 	defer p.bufs.Put(sc)

@@ -80,6 +80,8 @@ type samplerPlan struct {
 // Execute implements Plan: the meter runs the trial under the pinned
 // version and is restored afterwards, so a caller-owned meter can execute
 // differently-pinned plans in sequence.
+//
+//dp:hotpath
 func (sp *samplerPlan) Execute(m *noise.Meter, out []float64) error {
 	prev := m.Sampler()
 	m.SetSampler(sp.v)

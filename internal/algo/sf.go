@@ -126,7 +126,11 @@ func (s *SF) Plan(x *vec.Vector, _ *workload.Workload, eps float64) (Plan, error
 	}
 	p := &sfPlan{
 		s: s, data: data, prefix: prefixSums(data), sq: sq,
-		n: n, k: k, eps: eps, scale: x.Scale(),
+		n: n, k: k, eps: eps,
+		// F (the bucket-count bound) defaults to the dataset scale as
+		// declared public side information; ScaleRho > 0 replaces it with
+		// a metered per-trial estimate in Execute.
+		scale: x.Scale(), //dp:public Pside declared side information (HayMMCZ16 Principle 7)
 	}
 	if s.ScaleRho <= 0 {
 		p.eps1, p.eps2 = sfBudgetSplit(rho, eps, k)
@@ -152,6 +156,7 @@ func sfBudgetSplit(rho, epsLeft float64, k int) (eps1, eps2 float64) {
 	return rho * epsLeft, (1 - rho) * epsLeft
 }
 
+//dp:hotpath
 func (p *sfPlan) Execute(m *noise.Meter, out []float64) error {
 	sc := p.bufs.Get().(*sfScratch)
 	defer p.bufs.Put(sc)
@@ -207,10 +212,14 @@ func (p *sfPlan) Execute(m *noise.Meter, out []float64) error {
 			budget = append(budget, eps2/float64(h))
 		}
 		sc.budget = budget
+		// Pin the pooled tree scratch to a local for the whole
+		// compute→measure→infer sequence: the raw in-bucket sums leave it
+		// only through MeasureInto's metered draws.
+		fsc := sc.fsc
 		m.ResetSub(&sc.sub, "bucket", eps2, true)
-		sc.ftree.ComputeSums(p.data[lo:hi], sc.fsc)
-		sc.ftree.MeasureInto(&sc.sub, sc.fsc, budget)
-		sc.ftree.InferInto(sc.fsc, out[lo:hi])
+		sc.ftree.ComputeSums(p.data[lo:hi], fsc)
+		sc.ftree.MeasureInto(&sc.sub, fsc, budget)
+		sc.ftree.InferInto(fsc, out[lo:hi])
 		sc.sub.Close()
 	}
 	return m.Err()

@@ -169,12 +169,16 @@ func (m *Meter) charge(label string, eps float64, parallel bool) {
 // spend under label. The caller supplies the scale directly (rather than a
 // sensitivity/eps pair) so existing mechanisms keep their exact
 // floating-point scale expressions and the noise stream stays bit-identical.
+//
+//dp:hotpath
 func (m *Meter) Laplace(label string, scale, eps float64) float64 {
 	m.charge(label, eps, false)
 	return m.laplace(scale)
 }
 
 // laplace dispatches one scalar Laplace draw to the meter's sampler family.
+//
+//dp:hotpath
 func (m *Meter) laplace(scale float64) float64 {
 	if m.sampler == SamplerFast {
 		return FastLaplace(m.rng, scale)
@@ -183,6 +187,8 @@ func (m *Meter) laplace(scale float64) float64 {
 }
 
 // laplaceVecInto dispatches one vector Laplace draw to the sampler family.
+//
+//dp:hotpath
 func (m *Meter) laplaceVecInto(dst, x []float64, scale float64) []float64 {
 	if m.sampler == SamplerFast {
 		return FastLaplaceVecInto(m.rng, dst, x, scale)
@@ -196,6 +202,8 @@ func (m *Meter) laplaceVecInto(dst, x []float64, scale float64) []float64 {
 // tree levels), and vector-valued queries use it for their per-component
 // draws (each component charge is the whole vector's spend, so the scope
 // total is exactly that spend).
+//
+//dp:hotpath
 func (m *Meter) LaplacePar(label string, scale, eps float64) float64 {
 	m.charge(label, eps, true)
 	return m.laplace(scale)
@@ -212,6 +220,8 @@ func (m *Meter) LaplaceVec(label string, x []float64, scale, eps float64) []floa
 // LaplaceVecInto is LaplaceVec writing into a caller-provided destination, so
 // plan-execute hot paths add vector noise without allocating. The noise
 // stream is identical to LaplaceVec's.
+//
+//dp:hotpath
 func (m *Meter) LaplaceVecInto(label string, dst, x []float64, scale, eps float64) []float64 {
 	m.charge(label, eps, false)
 	return m.laplaceVecInto(dst, x, scale)
@@ -221,6 +231,8 @@ func (m *Meter) LaplaceVecInto(label string, dst, x []float64, scale, eps float6
 // the components perturb disjoint data (one count per partition bucket), so
 // a single charge covers the scope exactly as repeated LaplacePar calls with
 // the same label would — the ledger records the identical spend either way.
+//
+//dp:hotpath
 func (m *Meter) LaplaceVecParInto(label string, dst, x []float64, scale, eps float64) []float64 {
 	m.charge(label, eps, true)
 	return m.laplaceVecInto(dst, x, scale)
@@ -243,6 +255,8 @@ func (m *Meter) LaplaceMechanism(label string, f []float64, sensitivity, eps flo
 // LaplaceMechanismInto is LaplaceMechanism writing into a caller-provided
 // destination (len(f)). On a non-positive epsilon the error is recorded and
 // dst is left untouched — never filled with unperturbed input.
+//
+//dp:hotpath
 func (m *Meter) LaplaceMechanismInto(label string, dst, f []float64, sensitivity, eps float64) []float64 {
 	if eps <= 0 {
 		m.fail(fmt.Errorf("noise: non-positive epsilon %v in Laplace mechanism", eps))
@@ -259,6 +273,8 @@ func (m *Meter) LaplaceMechanismInto(label string, dst, f []float64, sensitivity
 // meter error without charging: a zero sensitivity would yield a zero noise
 // scale, and silently releasing an unperturbed count while the ledger
 // certifies an eps spend is exactly the bug class the meter exists to stop.
+//
+//dp:hotpath
 func (m *Meter) Geometric(label string, sensitivity, eps float64) int64 {
 	if eps <= 0 || sensitivity <= 0 {
 		m.fail(fmt.Errorf("noise: non-positive epsilon %v or sensitivity %v in geometric mechanism", eps, sensitivity))
@@ -287,15 +303,20 @@ func (m *Meter) ExpMechPar(label string, scores []float64, sensitivity, eps floa
 
 // ExpMechBuf is ExpMech with a caller-provided weight buffer, so repeated
 // selections allocate nothing.
+//
+//dp:hotpath
 func (m *Meter) ExpMechBuf(label string, scores []float64, sensitivity, eps float64, weights []float64) int {
 	return m.expMech(label, scores, sensitivity, eps, weights, false)
 }
 
 // ExpMechBufPar is ExpMechPar with a caller-provided weight buffer.
+//
+//dp:hotpath
 func (m *Meter) ExpMechBufPar(label string, scores []float64, sensitivity, eps float64, weights []float64) int {
 	return m.expMech(label, scores, sensitivity, eps, weights, true)
 }
 
+//dp:hotpath
 func (m *Meter) expMech(label string, scores []float64, sensitivity, eps float64, weights []float64, parallel bool) int {
 	var idx int
 	var err error
@@ -326,6 +347,8 @@ func (m *Meter) expMech(label string, scores []float64, sensitivity, eps float64
 // input (empty dst, non-positive eps) is recorded as a meter error and false
 // returned with dst untouched — a caller falling through would select index 0,
 // matching the ExpMech error path.
+//
+//dp:hotpath
 func (m *Meter) ExpMechGumbels(label string, dst []float64, eps float64) bool {
 	if len(dst) == 0 {
 		m.fail(fmt.Errorf("noise: empty score list in exponential mechanism"))

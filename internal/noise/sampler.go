@@ -133,6 +133,8 @@ func init() {
 // The hot vector loops below repeat this body manually: at cost 104 it is
 // over the compiler's inlining budget, and a per-draw call erases most of the
 // table win.
+//
+//dp:hotpath
 func gumbelFromBits(x uint64) float64 {
 	idx := x >> (64 - fastTabBits)
 	if idx-fastTail < fastTabK-2*fastTail {
@@ -148,6 +150,7 @@ func gumbelFromBits(x uint64) float64 {
 // uniform range pays for math.Log.
 //
 //go:noinline
+//dp:hotpath
 func gumbelExact(x uint64) float64 {
 	if x>>(64-fastTabBits) >= fastTabK-fastTail {
 		// High tail: index on 1-u = (2^64-x) * 2^-64.
@@ -178,6 +181,8 @@ func gumbelExact(x uint64) float64 {
 // expFromBits maps one 64-bit uniform to an Exp(1) sample (-ln U) via the
 // quantile table; only the low tail (U -> 0, where the magnitude diverges)
 // needs the exact form.
+//
+//dp:hotpath
 func expFromBits(x uint64) float64 {
 	idx := x >> (64 - fastTabBits)
 	if idx >= fastTail {
@@ -192,6 +197,7 @@ func expFromBits(x uint64) float64 {
 // for) through the second-level table; only u < 2^-12 pays for math.Log.
 //
 //go:noinline
+//dp:hotpath
 func expExact(x uint64) float64 {
 	if y := x << 6; y>>54 >= fastTail {
 		idx := y >> 54
@@ -211,6 +217,8 @@ func expExact(x uint64) float64 {
 // picks the sign and the remaining bits drive the Exp(1) magnitude. It is the
 // SamplerFast counterpart of Laplace — same distribution, different stream.
 // Mechanism code must reach it through a Meter (noisegate enforces this).
+//
+//dp:hotpath
 func FastLaplace(rng *rand.Rand, scale float64) float64 {
 	if scale <= 0 {
 		return 0
@@ -230,6 +238,8 @@ func FastLaplace(rng *rand.Rand, scale float64) float64 {
 // addition runs through vec.AddInto — so neither math.Log calls nor RNG
 // method calls appear in the per-element work. dst must not alias x unless
 // the caller no longer needs x.
+//
+//dp:hotpath
 func FastLaplaceVecInto(rng *rand.Rand, dst, x []float64, scale float64) []float64 {
 	if len(dst) != len(x) {
 		panic("noise: LaplaceVecInto length mismatch")
@@ -279,6 +289,8 @@ func FastLaplaceVecInto(rng *rand.Rand, dst, x []float64, scale float64) []float
 // geometrics, each obtained by flooring a table-accelerated Exp(1) magnitude:
 // floor(scale * E) is geometric with parameter alpha exactly as
 // floor(ln U / ln alpha) is.
+//
+//dp:hotpath
 func FastGeometric(rng *rand.Rand, scale float64) int64 {
 	if scale <= 0 {
 		return 0
@@ -297,6 +309,8 @@ func FastGeometric(rng *rand.Rand, scale float64) int64 {
 // running argmax, fused in one pass. Scores of -Inf (already-chosen MWEM
 // queries) can never win unless every score is -Inf. Input validation and the
 // +Inf-epsilon argmax limit match ExpMechBuf.
+//
+//dp:hotpath
 func FastExpMechTop1(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) (int, error) {
 	if len(scores) == 0 {
 		return 0, fmt.Errorf("noise: empty score list in exponential mechanism")
@@ -349,6 +363,8 @@ func FastExpMechTop1(rng *rand.Rand, scores []float64, sensitivity, epsilon floa
 // table-accelerated sampler. It exists for the distributional tests (KS
 // against the Gumbel CDF) and benchmarks; mechanisms select with
 // FastExpMechTop1 instead of drawing raw Gumbels.
+//
+//dp:hotpath
 func FastGumbelVecInto(rng *rand.Rand, dst []float64) {
 	n := len(dst)
 	for i := 0; i < n; {
