@@ -26,7 +26,12 @@ func (f Finding) String() string {
 }
 
 // Analyze runs every analyzer over one package, drops findings silenced by a
-// //lint:allow comment, and returns the rest sorted by position.
+// //lint:allow comment, and returns the rest sorted by position. A grant
+// that silences nothing is itself reported (as pseudo-analyzer
+// "unusedallow"), so stale suppressions cannot accumulate — but only when
+// the analyzer it names actually ran in this call, so a single-analyzer run
+// (analysistest, vet unit) never flags grants aimed at the rest of the
+// roster.
 func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	allowed := collectAllows(pkg)
 	var findings []Finding
@@ -41,7 +46,12 @@ func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
-			if allowed[allowKey{pos.Filename, pos.Line, name}] || allowed[allowKey{pos.Filename, pos.Line - 1, name}] {
+			if g := allowed[allowKey{pos.Filename, pos.Line, name}]; g != nil {
+				g.used = true
+				return
+			}
+			if g := allowed[allowKey{pos.Filename, pos.Line - 1, name}]; g != nil {
+				g.used = true
 				return
 			}
 			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
@@ -49,6 +59,20 @@ func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("driver: analyzer %s on %s: %v", a.Name, pkg.Meta.ImportPath, err)
 		}
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for key, g := range allowed {
+		if g.used || !ran[key.analyzer] {
+			continue
+		}
+		findings = append(findings, Finding{
+			Analyzer: "unusedallow",
+			Pos:      g.pos,
+			Message:  fmt.Sprintf("unused //lint:allow %s directive: nothing on this line or the next was silenced — remove it", key.analyzer),
+		})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -61,7 +85,13 @@ func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return findings[i].Analyzer < findings[j].Analyzer
+		if findings[i].Analyzer != findings[j].Analyzer {
+			return findings[i].Analyzer < findings[j].Analyzer
+		}
+		// Full tiebreak down to the message: same-position findings from one
+		// analyzer (e.g. two unused allow grants on one line) must render in
+		// a stable order regardless of map iteration.
+		return findings[i].Message < findings[j].Message
 	})
 	return findings, nil
 }
@@ -75,11 +105,17 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowGrant tracks whether one grant ever silenced a finding.
+type allowGrant struct {
+	pos  token.Position
+	used bool
+}
+
 // collectAllows scans every comment in the package for the escape hatch:
 //
 //	//lint:allow analyzer[,analyzer...] justification
-func collectAllows(pkg *load.Package) map[allowKey]bool {
-	allowed := map[allowKey]bool{}
+func collectAllows(pkg *load.Package) map[allowKey]*allowGrant {
+	allowed := map[allowKey]*allowGrant{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -94,7 +130,7 @@ func collectAllows(pkg *load.Package) map[allowKey]bool {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				for _, name := range strings.Split(fields[0], ",") {
-					allowed[allowKey{pos.Filename, pos.Line, name}] = true
+					allowed[allowKey{pos.Filename, pos.Line, name}] = &allowGrant{pos: pos}
 				}
 			}
 		}

@@ -1,0 +1,138 @@
+package driver_test
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"dpbench/internal/analysis"
+	"dpbench/internal/analysis/driver"
+	"dpbench/internal/analysis/load"
+)
+
+// reportDecls builds a toy analyzer that reports every function declaration
+// — walking files and declarations in REVERSE, so any ordering the caller
+// observes comes from the driver's sort, not from emission order.
+func reportDecls(name string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer reporting all func decls in reverse",
+		Run: func(pass *analysis.Pass) error {
+			for i := len(pass.Files) - 1; i >= 0; i-- {
+				f := pass.Files[i]
+				for j := len(f.Decls) - 1; j >= 0; j-- {
+					if fd, ok := f.Decls[j].(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func loadFixture(t *testing.T) *load.Package {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	exp, err := load.NewModuleExporter(filepath.Dir(strings.TrimSpace(string(out))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", "a")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	pkg, err := load.LoadFiles(exp, "dpbench/internal/analysis/driver/testdata/src/a", files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestFindingOrderDeterministic pins the driver's output contract: findings
+// are sorted by file, line, column, analyzer, message — identically on
+// every run — with suppressed findings dropped and stale grants surfaced.
+func TestFindingOrderDeterministic(t *testing.T) {
+	pkg := loadFixture(t)
+	// "zeta" runs before "alpha": the sort, not run order, must decide.
+	analyzers := []*analysis.Analyzer{reportDecls("zeta"), reportDecls("alpha")}
+
+	var first []string
+	for run := 0; run < 3; run++ {
+		findings, err := driver.Analyze(pkg, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, f := range findings {
+			got = append(got, f.String())
+		}
+		if !sort.SliceIsSorted(findings, func(i, j int) bool {
+			a, b := findings[i], findings[j]
+			ka := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s\x00%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.Analyzer, a.Message)
+			kb := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s\x00%s", b.Pos.Filename, b.Pos.Line, b.Pos.Column, b.Analyzer, b.Message)
+			return ka < kb
+		}) {
+			t.Fatalf("run %d: findings not sorted:\n%s", run, strings.Join(got, "\n"))
+		}
+		if run == 0 {
+			first = got
+			continue
+		}
+		if !reflect.DeepEqual(first, got) {
+			t.Fatalf("run %d differs from run 0:\n%s\nvs\n%s", run, strings.Join(got, "\n"), strings.Join(first, "\n"))
+		}
+	}
+
+	joined := strings.Join(first, "\n")
+	if strings.Contains(joined, "Silenced") {
+		t.Errorf("silenced finding leaked through the allow grant:\n%s", joined)
+	}
+	for _, fn := range []string{"First", "Third", "Fourth", "Fifth"} {
+		if got := strings.Count(joined, "func "+fn); got != 2 {
+			t.Errorf("func %s reported %d times, want 2 (one per analyzer):\n%s", fn, got, joined)
+		}
+	}
+	// The stale grant names two analyzers; both must be surfaced, and the
+	// message tiebreak keeps their order stable.
+	if got := strings.Count(joined, "unusedallow"); got != 2 {
+		t.Errorf("want 2 unusedallow findings for the stale grant, got %d:\n%s", got, joined)
+	}
+}
+
+// TestUnusedAllowScopedToRanAnalyzers: a grant naming an analyzer that did
+// not run in this Analyze call is not the driver's business — this is what
+// keeps single-analyzer fixture runs quiet about the rest of the roster.
+func TestUnusedAllowScopedToRanAnalyzers(t *testing.T) {
+	pkg := loadFixture(t)
+	findings, err := driver.Analyze(pkg, []*analysis.Analyzer{reportDecls("alpha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unused []string
+	for _, f := range findings {
+		if f.Analyzer == "unusedallow" {
+			unused = append(unused, f.Message)
+		}
+	}
+	if len(unused) != 1 || !strings.Contains(unused[0], "alpha") {
+		t.Fatalf("want exactly the stale alpha grant flagged, got %q", unused)
+	}
+}

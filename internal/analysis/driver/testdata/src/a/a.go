@@ -1,0 +1,16 @@
+// Fixture for the driver's ordering and allow-tracking tests. The test's
+// toy analyzers report one finding per function declaration, deliberately
+// walking files and declarations in reverse.
+package a
+
+func First() int { return 1 }
+
+//lint:allow zeta,alpha fixture: grant consumed by the decl below
+func Silenced() int { return 2 }
+
+// A grant that silences nothing; the driver must surface it — once per
+// named analyzer, in a stable order.
+//
+//lint:allow zeta,alpha fixture: stale grant, nothing to silence here
+
+func Third() int { return 3 }

@@ -1,0 +1,5 @@
+package a
+
+func Fourth() int { return 4 }
+
+func Fifth() int { return 5 }
