@@ -1,0 +1,305 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// walkStmt interprets one statement flow-insensitively: assignments join
+// into the store, calls apply their effects, control-flow statements record
+// branch dependencies, returns join into the summary result.
+func (e *Engine) walkStmt(f *Func, s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			e.walkStmt(f, inner)
+		}
+	case *ast.AssignStmt:
+		e.walkAssign(f, st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				forcePub := e.pubAt(vs.Pos())
+				for i, name := range vs.Names {
+					var v Val
+					if i < len(vs.Values) {
+						v = e.eval(f, vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						v = e.eval(f, vs.Values[0])
+					}
+					if forcePub {
+						v = Val{}
+					}
+					e.setVar(f, e.pass.TypesInfo.Defs[name], v)
+				}
+				// Evaluate a multi-name single-call spec once for effects.
+				if len(vs.Values) == 1 && len(vs.Names) > 1 {
+					e.eval(f, vs.Values[0])
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		e.eval(f, st.X)
+	case *ast.IncDecStmt:
+		e.writeLValue(f, st.X, e.eval(f, st.X))
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			e.raiseResult(f, e.eval(f, res))
+		}
+	case *ast.IfStmt:
+		e.walkStmt(f, st.Init)
+		e.branchCond(f, st.Cond)
+		e.walkStmt(f, st.Body)
+		e.walkStmt(f, st.Else)
+	case *ast.ForStmt:
+		e.walkStmt(f, st.Init)
+		if st.Cond != nil {
+			e.branchCond(f, st.Cond)
+		}
+		e.walkStmt(f, st.Post)
+		e.walkStmt(f, st.Body)
+	case *ast.RangeStmt:
+		e.walkRange(f, st)
+	case *ast.SwitchStmt:
+		e.walkStmt(f, st.Init)
+		if st.Tag != nil {
+			e.branchCond(f, st.Tag)
+		}
+		e.walkStmt(f, st.Body)
+	case *ast.TypeSwitchStmt:
+		e.walkStmt(f, st.Init)
+		e.walkStmt(f, st.Assign)
+		e.walkStmt(f, st.Body)
+	case *ast.CaseClause:
+		for _, expr := range st.List {
+			e.eval(f, expr)
+		}
+		for _, inner := range st.Body {
+			e.walkStmt(f, inner)
+		}
+	case *ast.SelectStmt:
+		e.walkStmt(f, st.Body)
+	case *ast.CommClause:
+		e.walkStmt(f, st.Comm)
+		for _, inner := range st.Body {
+			e.walkStmt(f, inner)
+		}
+	case *ast.SendStmt:
+		e.writeLValue(f, st.Chan, e.eval(f, st.Value))
+	case *ast.DeferStmt:
+		e.eval(f, st.Call)
+	case *ast.GoStmt:
+		e.eval(f, st.Call)
+	case *ast.LabeledStmt:
+		e.walkStmt(f, st.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// walkAssign joins each RHS value into its LHS target, honoring a
+// //dp:public annotation on the statement's line (or the line above).
+func (e *Engine) walkAssign(f *Func, st *ast.AssignStmt) {
+	forcePub := e.pubAt(st.Pos())
+	switch {
+	case len(st.Lhs) == len(st.Rhs):
+		for i := range st.Lhs {
+			// Bind `v := func(...) {...}` so calls through v can use the
+			// literal's recorded result.
+			if lit, ok := ast.Unparen(st.Rhs[i]).(*ast.FuncLit); ok {
+				if id, ok := st.Lhs[i].(*ast.Ident); ok {
+					obj := e.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = e.pass.TypesInfo.Uses[id]
+					}
+					if obj != nil {
+						f.closureVars[obj] = lit
+					}
+				}
+			}
+			v := e.eval(f, st.Rhs[i])
+			if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+				// Compound assignment (+=, etc.): arithmetic combine.
+				v = Combine(e.eval(f, st.Lhs[i]), v)
+			}
+			if forcePub {
+				v = Val{}
+			}
+			e.writeLValue(f, st.Lhs[i], v)
+		}
+	case len(st.Rhs) == 1:
+		// Tuple assignment: every LHS gets the joined result — except a
+		// comma-ok boolean (map index, type assertion, channel receive),
+		// which reveals presence/shape, not contents.
+		v := e.eval(f, st.Rhs[0])
+		if forcePub {
+			v = Val{}
+		}
+		commaOK := false
+		switch ast.Unparen(st.Rhs[0]).(type) {
+		case *ast.IndexExpr, *ast.TypeAssertExpr, *ast.UnaryExpr:
+			commaOK = len(st.Lhs) == 2
+		}
+		for i, lhs := range st.Lhs {
+			lv := v
+			if commaOK && i == 1 {
+				lv = Val{}
+			}
+			e.writeLValue(f, lhs, lv)
+		}
+	}
+}
+
+// walkRange models `for k, v := range X`: slice indices are public, values
+// (and map keys) carry the container's taint; the body is interpreted
+// normally. Ranging over a tainted container is itself branch-relevant:
+// iteration count is data shape, which the range-over-int and slice forms
+// expose only through len, kept public by design — so range conditions are
+// not branch sinks.
+func (e *Engine) walkRange(f *Func, st *ast.RangeStmt) {
+	cv := e.eval(f, st.X)
+	t := e.pass.TypesInfo.Types[st.X].Type
+	keyVal := cv
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer, *types.Basic, *types.Chan:
+			keyVal = Val{} // index / element count position: public
+		}
+	}
+	if st.Key != nil {
+		e.writeLValue(f, st.Key, keyVal)
+	}
+	if st.Value != nil {
+		e.writeLValue(f, st.Value, cv)
+	}
+	e.walkStmt(f, st.Body)
+}
+
+// branchCond evaluates a branch condition, recording symbolic parameter
+// dependence in the summary. Concrete Priv conditions are the report
+// phase's business (Eval is repeatable), not recorded here.
+func (e *Engine) branchCond(f *Func, cond ast.Expr) {
+	v := e.eval(f, cond)
+	e.raiseBits(&f.sum.Branch, v.Deps)
+}
+
+// writeLValue routes a written value to the right abstract cell: local
+// variable, parameter write, struct field, or package-level variable. The
+// root of an index/star/slice chain receives the element write (writing a
+// private value into out[i] taints out).
+func (e *Engine) writeLValue(f *Func, lhs ast.Expr, v Val) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		obj := e.pass.TypesInfo.Defs[x]
+		if obj == nil {
+			obj = e.pass.TypesInfo.Uses[x]
+		}
+		if obj == nil {
+			return
+		}
+		if isErrorType(obj.Type()) {
+			// Error values carry no taint: what goes INTO an error is
+			// checked at the construction sink (fmt.Errorf / errors.New),
+			// so the opaque value flowing onward — err != nil branches,
+			// %w wrapping, returns — stays public. Without this, every
+			// call that takes the histogram taints its error result and
+			// the following nil check.
+			v = Val{}
+		}
+		if idx, ok := f.params[obj]; ok {
+			// Rebinding the parameter variable itself; track as a write so
+			// later reads stay sound (joined via Sanitizes/deps is moot —
+			// treat like a pointee write).
+			e.raiseWrite(f, idx, v)
+			return
+		}
+		if e.isPackageLevel(obj) {
+			e.raiseGlobal(obj, v.K)
+			return
+		}
+		e.setVar(f, obj, v)
+	case *ast.ParenExpr:
+		e.writeLValue(f, x.X, v)
+	case *ast.IndexExpr:
+		e.eval(f, x.Index)
+		e.writeElem(f, x.X, v)
+	case *ast.StarExpr:
+		e.writeElem(f, x.X, v)
+	case *ast.SliceExpr:
+		e.writeElem(f, x.X, v)
+	case *ast.SelectorExpr:
+		if key, ok := e.fieldKeyOf(x); ok {
+			e.writeField(f, key, v)
+			return
+		}
+		// Cross-package field or package-level var in this package.
+		if obj := e.pass.TypesInfo.Uses[x.Sel]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar && obj.Pkg() == e.pass.Pkg && e.isPackageLevel(obj) {
+				e.raiseGlobal(obj, v.K)
+				return
+			}
+		}
+		e.writeElem(f, x.X, v)
+	}
+}
+
+// writeElem records a write through a container/pointer expression: if the
+// base is a parameter the write lands in the summary; if it is a local the
+// local's taint is raised (the container now holds the value); fields raise
+// the global field taint.
+func (e *Engine) writeElem(f *Func, base ast.Expr, v Val) {
+	switch x := ast.Unparen(base).(type) {
+	case *ast.Ident:
+		obj := e.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = e.pass.TypesInfo.Defs[x]
+		}
+		if obj == nil {
+			return
+		}
+		if idx, ok := f.params[obj]; ok {
+			if k, sanitized := f.sum.Sanitizes[idx]; sanitized && v.K <= k && v.Deps == 0 {
+				return
+			}
+			e.raiseWrite(f, idx, v)
+			return
+		}
+		if e.isPackageLevel(obj) {
+			e.raiseGlobal(obj, v.K)
+			return
+		}
+		if _, sanitized := f.sanitized[obj]; sanitized {
+			// Sanitization is final and flow-insensitive: once a buffer
+			// crosses a metered draw anywhere in the function it counts as
+			// released everywhere (the in-place compute→noise→infer idiom
+			// writes raw sums first). The ordering unsoundness — re-tainting
+			// a buffer AFTER its draw and releasing it — is documented in
+			// the package comment.
+			return
+		}
+		e.setVar(f, obj, v)
+	case *ast.SelectorExpr:
+		if key, ok := e.fieldKeyOf(x); ok {
+			e.writeField(f, key, v)
+			return
+		}
+		e.writeElem(f, x.X, v)
+	case *ast.IndexExpr:
+		e.writeElem(f, x.X, v)
+	case *ast.SliceExpr:
+		e.writeElem(f, x.X, v)
+	case *ast.StarExpr:
+		e.writeElem(f, x.X, v)
+	case *ast.CallExpr:
+		// Writing through a call result (rare); nothing to attribute.
+		e.eval(f, x)
+	}
+}
