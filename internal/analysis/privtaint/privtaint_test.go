@@ -1,0 +1,16 @@
+package privtaint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+func TestPrivtaintAlgo(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
+}
+
+func TestPrivtaintServe(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "serve"), "dpbench/internal/serve")
+}

@@ -1,0 +1,152 @@
+// Fixture for the privtaint analyzer, loaded under the real algo import
+// path so the Execute-phase scoping applies. Each plan type exercises one
+// source→sink shape; the clean variants are load-bearing too (a false
+// positive here fails the suite).
+package algo
+
+import (
+	"fmt"
+
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+)
+
+// --- source reaches sink: the raw histogram copied straight into out ---
+
+type truthPlan struct{ trueAnswers []float64 }
+
+func newTruth(x *vec.Vector) *truthPlan {
+	return &truthPlan{trueAnswers: x.Data}
+}
+
+func (p *truthPlan) Execute(m *noise.Meter, out []float64) error {
+	copy(out, p.trueAnswers) // want `call to copy writes an unsanitized private value into Execute's output buffer out`
+	return m.Err()
+}
+
+// --- source reaches sink: element writes, including through an alias ---
+
+type elemPlan struct{ raw []float64 }
+
+func newElem(x *vec.Vector) *elemPlan { return &elemPlan{raw: x.Data} }
+
+func (p *elemPlan) Execute(m *noise.Meter, out []float64) error {
+	out[0] = p.raw[0] // want `unsanitized private value written into Execute's output buffer out`
+	half := out[:len(out)/2]
+	for i := range half {
+		half[i] = p.raw[i] // want `unsanitized private value written into Execute's output buffer half`
+	}
+	return m.Err()
+}
+
+// --- sanitized paths: metered draws release the value ---
+
+type cleanPlan struct{ raw []float64 }
+
+func newClean(x *vec.Vector) *cleanPlan { return &cleanPlan{raw: x.Data} }
+
+func (p *cleanPlan) Execute(m *noise.Meter, out []float64) error {
+	// Vector draw into the sink buffer: the sanctioned release idiom.
+	m.LaplaceVecInto("cells", out, p.raw, 1, 1)
+	// Scalar draw combined with the private value: released by definition.
+	for i := range out {
+		est := p.raw[i] + m.Laplace("refine", 1, 1)
+		if est < 0 { // post-noise clamp: branching on a released value is fine
+			est = 0
+		}
+		out[i] = est
+	}
+	return m.Err()
+}
+
+// --- branch taint: data-dependent control flow in the Execute phase ---
+
+type branchPlan struct{ raw []float64 }
+
+func newBranch(x *vec.Vector) *branchPlan { return &branchPlan{raw: x.Data} }
+
+func (p *branchPlan) Execute(m *noise.Meter, out []float64) error {
+	if p.raw[0] > 0 { // want `branch condition depends on an unsanitized private value`
+		out[0] = m.Laplace("hot", 1, 1)
+	}
+	for i := range out {
+		out[i] = clampPos(p.raw[i]) + m.Laplace("cells", 1, 1) // want `private value passed to clampPos feeds a branch condition inside it`
+	}
+	return m.Err()
+}
+
+// clampPos branches on its argument; passing a private value into it from
+// the Execute phase is flagged at the call site.
+func clampPos(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Plan-time data inspection is deliberately out of branch-taint scope: this
+// helper is never reachable from an Execute method, and under the repo's
+// Plan/Execute contract the structure it selects only leaves through
+// Execute's metered output.
+func planSplit(x *vec.Vector) int {
+	cut := 0
+	for i, v := range x.Data {
+		if v > 0 { // not flagged: plan-phase structure selection
+			cut = i
+		}
+	}
+	return cut
+}
+
+// --- error sink: error strings are client-visible output ---
+
+type errPlan struct{ raw []float64 }
+
+func newErr(x *vec.Vector) *errPlan { return &errPlan{raw: x.Data} }
+
+func (p *errPlan) Execute(m *noise.Meter, out []float64) error {
+	if len(out) != len(p.raw) { // len is public shape, not contents
+		return fmt.Errorf("domain mismatch: first cell %v", p.raw[0]) // want `private value reaches an error constructed by fmt.Errorf`
+	}
+	m.LaplaceVecInto("cells", out, p.raw, 1, 1)
+	return m.Err()
+}
+
+// --- //dp:public: the audited side-information escape hatch ---
+
+type leakyScalePlan struct{ scale float64 }
+
+func newLeakyScale(x *vec.Vector) *leakyScalePlan {
+	p := &leakyScalePlan{}
+	p.scale = x.Scale() // no annotation: the scale stays private
+	return p
+}
+
+func (p *leakyScalePlan) Execute(m *noise.Meter, out []float64) error {
+	out[0] = p.scale // want `unsanitized private value written into Execute's output buffer out`
+	return m.Err()
+}
+
+type sidePlan struct{ scale float64 }
+
+func newSide(x *vec.Vector) *sidePlan {
+	p := &sidePlan{}
+	p.scale = x.Scale() //dp:public dataset scale is declared side information
+	return p
+}
+
+func (p *sidePlan) Execute(m *noise.Meter, out []float64) error {
+	out[0] = p.scale // not flagged: audited as public side information
+	return m.Err()
+}
+
+var (
+	_ = newTruth
+	_ = newElem
+	_ = newClean
+	_ = newBranch
+	_ = newErr
+	_ = newLeakyScale
+	_ = newSide
+	_ = planSplit
+)

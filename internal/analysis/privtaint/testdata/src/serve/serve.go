@@ -1,0 +1,40 @@
+// Fixture for privtaint's serve-side rules: every function is on the
+// request path, so HTTP response sinks and branch taint apply everywhere.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dpbench/internal/noise"
+	"dpbench/internal/vec"
+)
+
+type server struct {
+	x *vec.Vector
+}
+
+// The raw histogram must never reach a response body.
+func (s *server) handleRaw(w http.ResponseWriter, r *http.Request) {
+	_ = json.NewEncoder(w).Encode(s.x.Data) // want `private value reaches the HTTP response via Encode`
+}
+
+// A metered release of the same data is fine.
+func (s *server) handleReleased(w http.ResponseWriter, r *http.Request, m *noise.Meter) {
+	est := make([]float64, s.x.N())
+	m.LaplaceVecInto("cells", est, s.x.Data, 1, 1)
+	_ = json.NewEncoder(w).Encode(est)
+}
+
+// Shape metadata (dims, domain size) is public by the model.
+func (s *server) handleShape(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "dims=%v n=%d", s.x.Dims, s.x.N())
+}
+
+// In serve, branch taint applies to every function, not just Execute.
+func (s *server) handleConditional(w http.ResponseWriter, r *http.Request) {
+	if s.x.Data[0] > 0 { // want `branch condition depends on an unsanitized private value`
+		http.Error(w, "hot cell", http.StatusTeapot)
+	}
+}
