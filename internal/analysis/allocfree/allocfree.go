@@ -1,0 +1,235 @@
+// Package allocfree turns the repo's zero-alloc hot-path discipline into a
+// build failure instead of a benchmark diff. A function annotated with
+// `//dp:hotpath` in (or directly above) its doc comment declares that its
+// body performs no per-call heap allocation — the contract PRs 2/4/7
+// established for Plan.Execute bodies, the Meter draw paths, and the serve
+// request path, previously guarded only by AllocsPerRun benchmarks.
+//
+// The analyzer shells out to the compiler's own escape analysis
+// (`go build -gcflags=<pkg>=-m`) and maps the diagnostics back onto the
+// annotated bodies. Only allocation-class messages are flagged:
+//
+//   - `make(...)` / `new(...)` escaping to the heap (a non-constant-size
+//     make always does, which is exactly the "fresh per-trial buffer" bug);
+//   - composite literals escaping (`&T{...}` / `T{...}`);
+//   - `moved to heap: x` (a local forced off the stack).
+//
+// Interface-boxing escapes (`eps escapes to heap` feeding an error path)
+// and `func literal escapes to heap` are ignored: cold error paths may box,
+// and sync.Pool New closures exist to allocate. For the same reason,
+// allocations inside a nested func literal of a hot function are exempt —
+// the pool-refill idiom puts the deliberate allocation there. Slice growth
+// through append is invisible to -m and stays the benchmarks' job; the two
+// guards are complementary.
+//
+// The compiler's build cache replays -m diagnostics, so repeat runs cost a
+// cache probe, not a rebuild.
+package allocfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"dpbench/internal/analysis"
+)
+
+// Analyzer is the allocfree pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "//dp:hotpath functions must not heap-allocate per call (checked against go build -gcflags=-m)",
+	Run:  run,
+}
+
+// span is a half-open position range in one file.
+type span struct {
+	file       string
+	start, end int // line numbers, inclusive
+	fn         string
+	exempt     []span // nested func literals
+}
+
+// allocClass matches the escape-analysis messages that are real
+// allocations rather than interface boxing.
+var allocClass = regexp.MustCompile(`^(make\(.*\) escapes to heap|new\(.*\) escapes to heap|&?[\w.\[\]{}*]+\{\.\.\.\} escapes to heap|moved to heap: .*)$`)
+
+// diagLine parses `path/file.go:12:34: message` (the -m output shape).
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !strings.HasPrefix(pass.Pkg.Path(), "dpbench/") {
+		return nil
+	}
+	spans := hotpathSpans(pass)
+	if len(spans) == 0 {
+		return nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	diags, err := escapeDiagnostics(dir)
+	if err != nil {
+		// Escape analysis is best-effort: a sandboxed or cache-less
+		// environment must not fail the whole lint run.
+		return nil
+	}
+	for _, d := range diags {
+		if !allocClass.MatchString(d.msg) {
+			continue
+		}
+		for _, sp := range spans {
+			if !sp.contains(d.file, d.line) {
+				continue
+			}
+			pos := positionFor(pass.Fset, d.file, d.line, d.col)
+			pass.Reportf(pos, "heap allocation in //dp:hotpath function %s: %s — hot paths must reuse plan- or pool-owned buffers (compiler escape analysis)", sp.fn, d.msg)
+			break
+		}
+	}
+	return nil
+}
+
+// contains reports whether (file, line) falls in the span but not in a
+// nested exempt range.
+func (s span) contains(file string, line int) bool {
+	if filepath.Base(file) != filepath.Base(s.file) || line < s.start || line > s.end {
+		return false
+	}
+	for _, ex := range s.exempt {
+		if line >= ex.start && line <= ex.end {
+			return false
+		}
+	}
+	return true
+}
+
+// hotpathSpans collects the body ranges of //dp:hotpath functions,
+// recording nested func literals as exempt sub-ranges.
+func hotpathSpans(pass *analysis.Pass) []span {
+	// Comment lines carrying the annotation, per file.
+	marks := map[string]map[int]bool{}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "dp:hotpath") {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if marks[p.Filename] == nil {
+					marks[p.Filename] = map[int]bool{}
+				}
+				marks[p.Filename][p.Line] = true
+			}
+		}
+	}
+	if len(marks) == 0 {
+		return nil
+	}
+	var spans []span
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p := pass.Fset.Position(fd.Pos())
+			lines := marks[p.Filename]
+			if lines == nil {
+				continue
+			}
+			// Annotation anywhere in the doc comment, or directly above.
+			annotated := lines[p.Line-1]
+			if fd.Doc != nil {
+				dp := pass.Fset.Position(fd.Doc.Pos())
+				de := pass.Fset.Position(fd.Doc.End())
+				for l := dp.Line; l <= de.Line; l++ {
+					if lines[l] {
+						annotated = true
+					}
+				}
+			}
+			if !annotated {
+				continue
+			}
+			sp := span{
+				file:  p.Filename,
+				start: pass.Fset.Position(fd.Body.Pos()).Line,
+				end:   pass.Fset.Position(fd.Body.End()).Line,
+				fn:    fd.Name.Name,
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					sp.exempt = append(sp.exempt, span{
+						start: pass.Fset.Position(fl.Body.Pos()).Line,
+						end:   pass.Fset.Position(fl.Body.End()).Line,
+					})
+				}
+				return true
+			})
+			spans = append(spans, sp)
+		}
+	}
+	return spans
+}
+
+// diag is one parsed compiler diagnostic.
+type diag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// escapeDiagnostics runs the compiler's escape analysis over the package
+// in dir and parses the -m output. A pattern-less -gcflags applies only to
+// the package named on the command line, so dependencies build without -m;
+// the go build cache replays the diagnostics on unchanged inputs, so this
+// is cheap after the first run.
+func escapeDiagnostics(dir string) ([]diag, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "-o", "/dev/null", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("allocfree: go build -gcflags=-m in %s: %v", dir, err)
+	}
+	var diags []diag
+	for _, line := range strings.Split(string(out), "\n") {
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ln, err1 := strconv.Atoi(m[2])
+		col, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		diags = append(diags, diag{file: m[1], line: ln, col: col, msg: m[4]})
+	}
+	return diags, nil
+}
+
+// positionFor maps (file, line, col) back to a token.Pos in the fileset,
+// matching by basename since the compiler prints dir-relative paths.
+func positionFor(fset *token.FileSet, file string, line, col int) token.Pos {
+	var pos token.Pos
+	base := filepath.Base(file)
+	fset.Iterate(func(f *token.File) bool {
+		if filepath.Base(f.Name()) != base {
+			return true
+		}
+		if line > f.LineCount() {
+			return false
+		}
+		p := f.LineStart(line)
+		pos = p + token.Pos(col-1)
+		if int(pos-f.Pos(0)) >= f.Size() {
+			pos = p
+		}
+		return false
+	})
+	return pos
+}

@@ -1,0 +1,16 @@
+package allocfree
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+// The fixture is loaded under its real on-disk import path: escape
+// diagnostics come from running the compiler over the directory, so the
+// package must be buildable in place.
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "hot"),
+		"dpbench/internal/analysis/allocfree/testdata/src/hot")
+}

@@ -1,0 +1,73 @@
+// Fixture for the allocfree analyzer. Unlike most fixtures this package
+// must actually build: the analyzer shells out to the compiler's escape
+// analysis over the on-disk directory, so the findings here come from real
+// -m diagnostics, not a mock.
+package hot
+
+import "sync"
+
+// hotAlloc grows a fresh buffer per call — the exact per-trial allocation
+// bug the annotation forbids. Annotated inside the doc comment.
+//
+//dp:hotpath
+func hotAlloc(n int) float64 {
+	buf := make([]float64, n) // want `heap allocation in //dp:hotpath function hotAlloc`
+	s := 0.0
+	for i := range buf {
+		s += buf[i]
+	}
+	return s
+}
+
+//dp:hotpath
+func hotMoved() *int {
+	x := 3 // want `heap allocation in //dp:hotpath function hotMoved`
+	return &x
+}
+
+// hotClean reuses the caller's buffer: the contract-compliant shape.
+//
+//dp:hotpath
+func hotClean(dst []float64) {
+	for i := range dst {
+		dst[i] = float64(i)
+	}
+}
+
+// coldAlloc allocates but carries no annotation, so it is out of scope.
+func coldAlloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+var pool = sync.Pool{New: func() any {
+	return make([]float64, 1024)
+}}
+
+// hotPooled draws from a shared pool; Get/Put box the slice into an
+// interface, which is boxing-class and deliberately ignored.
+//
+//dp:hotpath
+func hotPooled() float64 {
+	buf := pool.Get().([]float64)
+	defer pool.Put(buf)
+	return buf[0]
+}
+
+// hotRefill's nested literal allocates on purpose (the pool-refill idiom);
+// func literal bodies are exempt sub-ranges.
+//
+//dp:hotpath
+func hotRefill() func() []float64 {
+	return func() []float64 {
+		return make([]float64, 64) // exempt: nested func literal
+	}
+}
+
+var (
+	_ = hotAlloc
+	_ = hotMoved
+	_ = hotClean
+	_ = coldAlloc
+	_ = hotPooled
+	_ = hotRefill
+)
