@@ -24,12 +24,14 @@ import (
 	"strings"
 
 	"dpbench/internal/analysis"
+	"dpbench/internal/analysis/allocfree"
 	"dpbench/internal/analysis/budgetlabel"
 	"dpbench/internal/analysis/determinism"
 	"dpbench/internal/analysis/driver"
 	"dpbench/internal/analysis/internalboundary"
 	"dpbench/internal/analysis/load"
 	"dpbench/internal/analysis/noisegate"
+	"dpbench/internal/analysis/privtaint"
 	"dpbench/internal/analysis/subclose"
 )
 
@@ -39,6 +41,8 @@ var analyzers = []*analysis.Analyzer{
 	subclose.Analyzer,
 	determinism.Analyzer,
 	internalboundary.Analyzer,
+	privtaint.Analyzer,
+	allocfree.Analyzer,
 }
 
 func main() {
