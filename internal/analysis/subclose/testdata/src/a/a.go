@@ -99,3 +99,32 @@ func allowedLeak(m *noise.Meter) {
 	sub := m.SubEps("s10", 0.5)
 	sub.Laplace("x", 1, 0.5)
 }
+
+// Storing the sub-meter in a field moves the close obligation to the
+// holder's lifecycle: escape, no finding.
+type meterHolder struct{ sub *noise.Meter }
+
+func cleanEscapeField(m *noise.Meter, h *meterHolder) {
+	sub := m.SubEps("s11", 0.5)
+	h.sub = sub
+	sub.Laplace("x", 1, 0.5)
+}
+
+// A package-level store likewise escapes static reach.
+var retainedSub *noise.Meter
+
+func cleanEscapeGlobal(m *noise.Meter) {
+	sub := m.SubEps("s12", 0.5)
+	retainedSub = sub
+}
+
+// An escape on any path frees the whole site — the branch that closes
+// locally does not bring the other branch back in scope.
+func cleanEscapeBranch(m *noise.Meter, cond bool) {
+	sub := m.SubEps("s13", 0.5)
+	if cond {
+		retainedSub = sub
+		return
+	}
+	sub.Close()
+}
