@@ -1,7 +1,7 @@
-// Doc.go records the five invariants dpbench-lint enforces at compile time
-// and the escape hatch for audited exceptions. The authoritative wording of
-// each invariant lives on the Analyzer.Doc of the subpackages; this file is
-// the map.
+// Doc.go records the seven invariants dpbench-lint enforces at compile time
+// and the escape hatches for audited exceptions. The authoritative wording
+// of each invariant lives on the Analyzer.Doc of the subpackages; this file
+// is the map.
 //
 // # Why these checks exist
 //
@@ -13,7 +13,7 @@
 // fails — at best — in a later runtime audit or a golden diff. The
 // analyzers turn that whole bug class into a build failure.
 //
-// # The five analyzers
+// # The seven analyzers
 //
 //   - noisegate (internal/analysis/noisegate): inside dpbench/internal/algo,
 //     privacy-relevant randomness must flow through an accountant-backed
@@ -50,7 +50,40 @@
 //     and internal packages must not import the facade back. This replaces
 //     the old grep-based CI step with a real import-graph check.
 //
-// # Escape hatch
+//   - privtaint (internal/analysis/privtaint): the release invariant
+//     itself, checked interprocedurally over dpbench/internal/algo and
+//     dpbench/internal/serve with the dataflow engine in
+//     internal/analysis/dataflow. Values derived from the private histogram
+//     (vec.Vector and anything arithmetic touches) must cross an
+//     accountant-metered noise draw before reaching Execute's output
+//     buffer, an error string, an HTTP response, or — in Execute-phase and
+//     serve code — a branch condition. An example finding:
+//
+//     php.go:187: privtaint: private value passed to abs feeds a branch
+//     condition inside it: data-dependent control flow in the execute
+//     phase is an uncharged side channel
+//
+//     Declared public side information (HayMMCZ16 Principle 7: the dataset
+//     scale the grid mechanisms use for layout) is exempted per line with
+//     `//dp:public <justification>`; every such annotation is part of the
+//     audited privacy argument, not a convenience.
+//
+//   - allocfree (internal/analysis/allocfree): a function annotated
+//     `//dp:hotpath` (Plan.Execute bodies, Meter draw paths, the serve
+//     answer path) must not heap-allocate per call, verified against the
+//     compiler's own escape analysis (go build -gcflags=-m) rather than a
+//     benchmark diff. An example finding:
+//
+//     grid.go:339: allocfree: heap allocation in //dp:hotpath function
+//     Execute: make([]float64, area) escapes to heap — hot paths must
+//     reuse plan- or pool-owned buffers
+//
+//     Interface boxing and nested func literals (the sync.Pool refill
+//     idiom) are exempt; allocations in un-annotated helpers are invisible
+//     to the span check, so helpers that join the contract must be
+//     annotated themselves.
+//
+// # Escape hatches
 //
 // A finding that is understood and deliberately accepted — for example the
 // legacy-sampler path planned in ROADMAP item 2, which must keep the exact
@@ -61,5 +94,12 @@
 //
 // The analyzer name is required; everything after it is the justification
 // and should cite why the invariant holds anyway. Allow comments are
-// scoped to a single line so an exception can never grow silently.
+// scoped to a single line so an exception can never grow silently — and a
+// grant that no longer silences anything is itself reported by the driver
+// (pseudo-analyzer "unusedallow"), so stale suppressions cannot accumulate.
+//
+// The two annotations the new analyzers read are affirmative declarations
+// rather than suppressions: `//dp:public <why>` declares a value as audited
+// public side information (privtaint), and `//dp:hotpath` declares a
+// zero-allocation contract the compiler is asked to verify (allocfree).
 package analysis
