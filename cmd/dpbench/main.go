@@ -23,7 +23,12 @@
 // The serve subcommand precompiles one release plan per (dataset,
 // mechanism, epsilon) cell and answers range-query workloads over
 // HTTP/JSON, charging each request's epsilon to the caller's API-key budget
-// and refusing (HTTP 429) any request that would overspend it. See the
+// and refusing (HTTP 429) any request that would overspend it. With
+// -ledger <path> every charge is group-committed to an append-only,
+// tamper-evident WAL before noise is drawn: a restart replays the log so
+// spent budget survives crashes, /v1/root publishes a Merkle root over the
+// committed history, and /v1/proof returns inclusion proofs. On a store
+// write failure the server fails closed (503, degraded /healthz). See the
 // README's walkthrough.
 //
 // Experiments: fig1a fig1b fig2a fig2b fig2c tab3a tab3b find6 find7 find8
@@ -235,6 +240,8 @@ func runServe(args []string) int {
 		totalBudget = fs.Float64("total-budget", 0, "total epsilon spendable per dataset across all keys (0 = 10x key-budget)")
 		allowSeeded = fs.Bool("allow-seeded-queries", false, "accept client-pinned noise seeds (test/replay only: seeded releases are denoisable)")
 		sampler     = fs.String("sampler", "legacy", "noise-sampler family: legacy (reference) or fast (table-accelerated)")
+		ledgerPath  = fs.String("ledger", "", "path of the durable budget ledger WAL; empty keeps accounting in-memory")
+		audit       = fs.Bool("audit", false, "retain full per-spend accountant history (memory grows per request; off keeps O(1) totals)")
 	)
 	fs.Parse(args)
 
@@ -260,10 +267,20 @@ func runServe(args []string) int {
 		TotalBudget:        *totalBudget,
 		AllowSeededQueries: *allowSeeded,
 		Sampler:            samplerV,
+		LedgerPath:         *ledgerPath,
+		Audit:              *audit,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
+	}
+	defer srv.Close()
+	if records, truncated, ok := srv.RecoveryInfo(); ok {
+		fmt.Printf("serve: ledger %s recovered %d committed spend(s)", *ledgerPath, records)
+		if truncated > 0 {
+			fmt.Printf(", discarded %d torn-tail byte(s)", truncated)
+		}
+		fmt.Println()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

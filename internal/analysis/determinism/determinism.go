@@ -5,8 +5,8 @@
 // moment an output depends on Go's randomized map iteration order or on
 // ambient process state.
 //
-// In dpbench/internal/{algo,tree,core,experiments} non-test files it flags,
-// inside `for ... range <map>` bodies:
+// In dpbench/internal/{algo,tree,core,experiments,ledger} non-test files it
+// flags, inside `for ... range <map>` bodies:
 //
 //   - assignments through an index into a slice or array (results land in
 //     map-iteration order);
@@ -45,6 +45,10 @@ var scopes = []string{
 	"dpbench/internal/tree",
 	"dpbench/internal/core",
 	"dpbench/internal/experiments",
+	// The ledger's canonical record encoding is a Merkle leaf: any ambient
+	// input (a timestamp, an env-dependent field) would make the same spend
+	// hash differently across replicas and replays.
+	"dpbench/internal/ledger",
 }
 
 func inScope(path string) bool {

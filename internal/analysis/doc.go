@@ -38,11 +38,13 @@
 //     lostcancel. A leaked sub-meter under-reports spend silently.
 //
 //   - determinism (internal/analysis/determinism): in dpbench/internal/algo,
-//     internal/tree, internal/core and internal/experiments, map-range
-//     iteration must not write slices, append (unless the collected keys are
-//     sorted before use), or accumulate floating point — and time.Now /
-//     os.Getenv are banned outright. These are exactly the hazards the
-//     bit-identical goldens and the Plan-vs-Run equivalence tests depend on.
+//     internal/tree, internal/core, internal/experiments and internal/ledger,
+//     map-range iteration must not write slices, append (unless the collected
+//     keys are sorted before use), or accumulate floating point — and
+//     time.Now / os.Getenv are banned outright. These are exactly the hazards
+//     the bit-identical goldens and the Plan-vs-Run equivalence tests depend
+//     on; in the ledger the canonical record encoding doubles as a Merkle
+//     leaf, so any ambient input would fork the tree across replicas.
 //
 //   - internalboundary (internal/analysis/internalboundary): only the facade
 //     packages (dpbench, dpbench/release, dpbench/privacy) and dpbench/cmd

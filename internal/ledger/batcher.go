@@ -1,0 +1,164 @@
+package ledger
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// pending is one submitted record waiting for its group commit.
+type pending struct {
+	rec  Record
+	seq  uint64
+	err  error
+	done chan struct{} // buffered(1): reusable one-shot completion signal
+}
+
+// pendingPool recycles submissions (and their completion channels) so the
+// serving hot path does not allocate a channel per request.
+var pendingPool = sync.Pool{New: func() any { return &pending{done: make(chan struct{}, 1)} }}
+
+// Batcher turns per-request durable commits into group commits: callers
+// Submit one record and block until it is on disk, while a single committer
+// goroutine drains every waiting submission into one Store.Append — one
+// fsync per batch, not per request. Completion order follows commit order,
+// and the OnCommit hook observes every batch (with sequence numbers
+// assigned) after it is durable but before any submitter is released, so a
+// caller that holds its sequence number can immediately ask for an inclusion
+// proof of it.
+type Batcher struct {
+	store    Store
+	onCommit func([]Record)
+	maxBatch int
+
+	ch   chan *pending
+	stop chan struct{} // closed when the committer has drained and exited
+
+	mu     sync.RWMutex // guards closed against in-flight Submits
+	closed bool
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// NewBatcher starts a group-commit loop in front of store. maxBatch bounds
+// the records per Append (<=0 selects a default of 128); onCommit, when
+// non-nil, is called from the committer goroutine with each durably
+// committed batch in order.
+func NewBatcher(store Store, maxBatch int, onCommit func([]Record)) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 128
+	}
+	b := &Batcher{
+		store:    store,
+		onCommit: onCommit,
+		maxBatch: maxBatch,
+		ch:       make(chan *pending, 2*maxBatch),
+		stop:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Submit durably commits rec, blocking until the group commit containing it
+// has been fsynced, and returns the record's assigned sequence number. On a
+// store failure every submission in the failed batch — and, because stores
+// are fail-closed, every later one — returns the error.
+func (b *Batcher) Submit(rec Record) (uint64, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, fmt.Errorf("ledger: submit: %w", ErrClosed)
+	}
+	p := pendingPool.Get().(*pending)
+	p.rec, p.seq, p.err = rec, 0, nil
+	b.ch <- p
+	b.mu.RUnlock()
+	<-p.done
+	seq, err := p.seq, p.err
+	pendingPool.Put(p)
+	return seq, err
+}
+
+// Err returns the first commit error observed (nil while healthy). The
+// serving layer surfaces it as a degraded /healthz.
+func (b *Batcher) Err() error {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return b.lastErr
+}
+
+// Close stops accepting submissions, flushes everything already submitted,
+// and waits for the committer to exit. It does not close the Store.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.stop
+		return nil
+	}
+	b.closed = true
+	close(b.ch)
+	b.mu.Unlock()
+	<-b.stop
+	return nil
+}
+
+// run is the committer loop: block for one submission, then drain whatever
+// else is already waiting (up to maxBatch) into the same Append.
+func (b *Batcher) run() {
+	defer close(b.stop)
+	items := make([]*pending, 0, b.maxBatch)
+	batch := make([]Record, 0, b.maxBatch)
+	for p := range b.ch {
+		items = append(items[:0], p)
+		batch = append(batch[:0], p.rec)
+		// One scheduling quantum before claiming the fsync: submitters that
+		// are runnable but not yet enqueued (the common case right after the
+		// previous commit released a batch) get to join this one. Costs a
+		// yield when nothing is waiting; multiplies the batch size when the
+		// system is saturated.
+		runtime.Gosched()
+	drain:
+		for len(items) < b.maxBatch {
+			select {
+			case q, ok := <-b.ch:
+				if !ok {
+					break drain
+				}
+				items = append(items, q)
+				batch = append(batch, q.rec)
+			default:
+				break drain
+			}
+		}
+		b.commit(items, batch)
+	}
+}
+
+// commit appends one batch and completes its submitters.
+func (b *Batcher) commit(items []*pending, batch []Record) {
+	first, err := b.store.Append(batch)
+	if err != nil {
+		b.errMu.Lock()
+		if b.lastErr == nil {
+			b.lastErr = err
+		}
+		b.errMu.Unlock()
+		for _, it := range items {
+			it.err = err
+			it.done <- struct{}{}
+		}
+		return
+	}
+	for i := range batch {
+		batch[i].Seq = first + uint64(i)
+	}
+	if b.onCommit != nil {
+		b.onCommit(batch)
+	}
+	for i, it := range items {
+		it.seq = first + uint64(i)
+		it.done <- struct{}{}
+	}
+}

@@ -1,0 +1,166 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherConcurrentSubmitExactAccounting hammers one batcher from 8
+// goroutines and checks the strongest invariants group commit must preserve:
+// every submission gets a distinct sequence number, the store holds exactly
+// the submitted records in sequence order, and the OnCommit hook saw every
+// record exactly once, in order. Run with -race.
+func TestBatcherConcurrentSubmitExactAccounting(t *testing.T) {
+	const goroutines, perG = 8, 50
+	store := NewMemStore()
+	var hookMu sync.Mutex // the hook is single-goroutine, but -race can't know
+	var hooked []Record
+	b := NewBatcher(store, 16, func(recs []Record) {
+		hookMu.Lock()
+		hooked = append(hooked, recs...)
+		hookMu.Unlock()
+	})
+
+	seqs := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				seq, err := b.Submit(Record{Key: fmt.Sprintf("key-%d", g), Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.1})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d submit %d: %v", g, i, err)
+					return
+				}
+				seqs[g] = append(seqs[g], seq)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const total = goroutines * perG
+	// Every sequence number 1..total was handed out exactly once.
+	seen := make(map[uint64]bool, total)
+	for g, list := range seqs {
+		if len(list) != perG {
+			t.Fatalf("goroutine %d got %d seqs, want %d", g, len(list), perG)
+		}
+		for _, s := range list {
+			if s < 1 || s > total || seen[s] {
+				t.Fatalf("goroutine %d got invalid or duplicate seq %d", g, s)
+			}
+			seen[s] = true
+		}
+	}
+	// The store holds the full history in sequence order, with per-key
+	// counts exactly matching what was submitted.
+	counts := map[string]int{}
+	var next uint64 = 1
+	if err := store.Replay(func(r Record) error {
+		if r.Seq != next {
+			return fmt.Errorf("record out of order: seq %d at position %d", r.Seq, next)
+		}
+		next++
+		counts[r.Key]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != total+1 {
+		t.Fatalf("store holds %d records, want %d", next-1, total)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := counts[fmt.Sprintf("key-%d", g)]; got != perG {
+			t.Errorf("key-%d has %d committed records, want %d", g, got, perG)
+		}
+	}
+	// The hook observed the identical history, in order.
+	if len(hooked) != total {
+		t.Fatalf("OnCommit saw %d records, want %d", len(hooked), total)
+	}
+	for i, r := range hooked {
+		if r.Seq != uint64(i)+1 {
+			t.Fatalf("OnCommit record %d has seq %d", i, r.Seq)
+		}
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(Record{Key: "late"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestBatcherGroupsWaitingSubmissions pins that the batcher actually batches:
+// submissions that queue while a commit is in flight share one Append.
+func TestBatcherGroupsWaitingSubmissions(t *testing.T) {
+	const waiters = 15
+	fs := NewFaultStore(NewMemStore())
+	fs.StallOn, fs.StallFor = 1, 200*time.Millisecond
+	b := NewBatcher(fs, 128, nil)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < waiters+1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Submit(Record{Key: fmt.Sprintf("k%d", i), Eps: 0.1}); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// The first Append stalls; the other submissions pile up behind it and
+	// drain into far fewer Appends than submissions.
+	if got := fs.Appends(); got >= waiters+1 {
+		t.Errorf("%d submissions took %d Appends; group commit never grouped", waiters+1, got)
+	}
+}
+
+// TestBatcherFailClosed pins the sticky failure contract: once the store
+// fails, the failed submission and every later one error out, and Err()
+// reports the degradation.
+func TestBatcherFailClosed(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	fs.FailOn = 2
+	b := NewBatcher(fs, 128, nil)
+	defer b.Close()
+
+	if _, err := b.Submit(Record{Key: "ok", Eps: 0.1}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if b.Err() != nil {
+		t.Fatalf("healthy batcher reports error: %v", b.Err())
+	}
+	if _, err := b.Submit(Record{Key: "doomed", Eps: 0.1}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("failed submit: %v, want ErrUnavailable", err)
+	}
+	if _, err := b.Submit(Record{Key: "after", Eps: 0.1}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("submit after failure: %v, want ErrUnavailable", err)
+	}
+	if err := b.Err(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Err() = %v, want ErrUnavailable", err)
+	}
+	// Only the pre-failure record is durable.
+	n := 0
+	if err := fs.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("store holds %d records after failure, want 1", n)
+	}
+}

@@ -1,0 +1,48 @@
+package ledger
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkWALAppendSerial is the un-batched floor: one record, one fsync.
+func BenchmarkWALAppendSerial(b *testing.B) {
+	w, err := OpenWAL(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := Record{Key: "bench", Dataset: "ADULT", Mechanism: "HB", Eps: 0.1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append([]Record{rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatcherSubmitWAL measures group commit doing its job: many
+// concurrent submitters share each fsync, so per-op cost lands well under the
+// serial floor (divide this ns/op into BenchmarkWALAppendSerial's to see the
+// effective batch size).
+func BenchmarkBatcherSubmitWAL(b *testing.B) {
+	w, err := OpenWAL(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	bt := NewBatcher(w, 128, nil)
+	defer bt.Close()
+	rec := Record{Key: "bench", Dataset: "ADULT", Mechanism: "HB", Eps: 0.1}
+	b.ReportAllocs()
+	b.SetParallelism(64) // keep well over maxBatch submissions in flight
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := bt.Submit(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package ledger
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultStore wraps a Store and injects failures or stalls into chosen
+// commits, so tests can drive the fail-closed serving paths (HTTP 503,
+// degraded /healthz) and the batcher's behavior under a slow disk without a
+// real medium failure. It is a test fixture that lives in the package so the
+// serving layer's handler tests can use it against any backend.
+type FaultStore struct {
+	inner Store
+
+	// FailOn, when > 0, fails the FailOn-th Append call (1-based) — and,
+	// matching the fail-closed contract of real stores, every later one.
+	FailOn int
+	// Err is the injected failure; it wraps ErrUnavailable by default so
+	// the serving layer's 503 mapping sees what a real store failure
+	// produces.
+	Err error
+	// StallOn, when > 0, delays the StallOn-th Append call by StallFor
+	// before forwarding it.
+	StallOn  int
+	StallFor time.Duration
+
+	mu      sync.Mutex
+	appends int
+	tripped bool
+}
+
+// NewFaultStore wraps inner. Configure the exported fields before use.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner, Err: fmt.Errorf("%w: injected fault", ErrUnavailable)}
+}
+
+// Append implements Store, injecting the configured fault.
+func (f *FaultStore) Append(batch []Record) (uint64, error) {
+	f.mu.Lock()
+	f.appends++
+	n := f.appends
+	if f.FailOn > 0 && n >= f.FailOn {
+		f.tripped = true
+	}
+	tripped := f.tripped
+	stall := f.StallOn > 0 && n == f.StallOn
+	f.mu.Unlock()
+	if tripped {
+		return 0, f.Err
+	}
+	if stall {
+		time.Sleep(f.StallFor)
+	}
+	return f.inner.Append(batch)
+}
+
+// Appends reports how many Append calls the store has seen.
+func (f *FaultStore) Appends() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appends
+}
+
+// Replay implements Store.
+func (f *FaultStore) Replay(fn func(Record) error) error { return f.inner.Replay(fn) }
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.inner.Close() }

@@ -1,0 +1,199 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// Hash is a SHA-256 digest: a Merkle leaf, node, or root.
+type Hash = [sha256.Size]byte
+
+// Domain-separation prefixes (RFC 6962): a leaf hash can never be
+// reinterpreted as an interior node or vice versa.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash hashes one canonical record encoding into its Merkle leaf.
+func LeafHash(leaf []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(leaf)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// EmptyRoot is the root of a ledger with no committed records.
+func EmptyRoot() Hash { return sha256.Sum256(nil) }
+
+// Tree is an append-only RFC 6962-style Merkle tree over the ledger's
+// canonical record encodings, appended in commit order. The root at size n
+// commits the entire committed prefix: changing, dropping, or reordering any
+// record changes the root, so a caller that remembers one root — or compares
+// roots with other callers — can detect a rewritten history. It is safe for
+// concurrent appends and reads.
+type Tree struct {
+	mu     sync.RWMutex
+	leaves []Hash
+	// stack holds the roots of the maximal perfect subtrees of the current
+	// leaf sequence, largest first — the binary decomposition of len(leaves).
+	// Appending merges trailing equal-size subtrees, so the running root
+	// folds in O(log n) instead of rehashing the whole tree.
+	stack []Hash
+	sizes []uint64 // leaf count under each stack entry
+}
+
+// Append adds one record encoding as the next leaf.
+func (t *Tree) Append(leaf []byte) {
+	h := LeafHash(leaf)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.leaves = append(t.leaves, h)
+	t.stack = append(t.stack, h)
+	t.sizes = append(t.sizes, 1)
+	for n := len(t.stack); n >= 2 && t.sizes[n-1] == t.sizes[n-2]; n = len(t.stack) {
+		t.stack[n-2] = nodeHash(t.stack[n-2], t.stack[n-1])
+		t.sizes[n-2] *= 2
+		t.stack = t.stack[:n-1]
+		t.sizes = t.sizes[:n-1]
+	}
+}
+
+// Size returns the number of leaves.
+func (t *Tree) Size() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return uint64(len(t.leaves))
+}
+
+// Root returns the current root and the size it commits to.
+func (t *Tree) Root() (Hash, uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rootLocked(), uint64(len(t.leaves))
+}
+
+func (t *Tree) rootLocked() Hash {
+	if len(t.stack) == 0 {
+		return EmptyRoot()
+	}
+	// Fold the perfect-subtree roots right to left: exactly MTH(D[n]) for
+	// the RFC 6962 split at the largest power of two below n.
+	r := t.stack[len(t.stack)-1]
+	for i := len(t.stack) - 2; i >= 0; i-- {
+		r = nodeHash(t.stack[i], r)
+	}
+	return r
+}
+
+// Proof is an inclusion proof: the leaf at Index is committed by Root, which
+// covers Size leaves. Path lists the sibling subtree hashes bottom-up.
+// VerifyInclusion checks it offline — nothing beyond the proof itself and
+// the expected root is needed.
+type Proof struct {
+	Index    uint64
+	Size     uint64
+	LeafHash Hash
+	Path     []Hash
+	Root     Hash
+}
+
+// Prove returns the inclusion proof for the leaf at index (0-based) against
+// the tree's current root. The proof and root are taken under one lock, so
+// they are mutually consistent even while appends race.
+func (t *Tree) Prove(index uint64) (Proof, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := uint64(len(t.leaves))
+	if index >= n {
+		return Proof{}, fmt.Errorf("ledger: proof index %d out of range (size %d)", index, n)
+	}
+	return Proof{
+		Index:    index,
+		Size:     n,
+		LeafHash: t.leaves[index],
+		Path:     authPath(t.leaves, index),
+		Root:     t.rootLocked(),
+	}, nil
+}
+
+// mth computes the RFC 6962 Merkle tree hash of a non-empty leaf-hash range.
+func mth(h []Hash) Hash {
+	if len(h) == 1 {
+		return h[0]
+	}
+	k := splitPoint(len(h))
+	return nodeHash(mth(h[:k]), mth(h[k:]))
+}
+
+// splitPoint returns the largest power of two strictly less than n (n >= 2).
+func splitPoint(n int) int {
+	k := 1
+	for 2*k < n {
+		k *= 2
+	}
+	return k
+}
+
+// authPath collects the sibling hashes proving leaves[i], bottom-up.
+func authPath(leaves []Hash, i uint64) []Hash {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := uint64(splitPoint(len(leaves)))
+	if i < k {
+		return append(authPath(leaves[:k], i), mth(leaves[k:]))
+	}
+	return append(authPath(leaves[k:], i-k), mth(leaves[:k]))
+}
+
+// VerifyInclusion recomputes the root from the proof's leaf hash and path
+// and compares it to the proof's root. A caller verifying that a specific
+// spend is in the ledger additionally recomputes the leaf hash from the
+// record fields it knows (LeafHash of EncodeRecord) and compares it to
+// p.LeafHash — the server cannot substitute someone else's record at that
+// position without breaking one of the two comparisons.
+func VerifyInclusion(p Proof) bool {
+	r, ok := rootFromPath(p.LeafHash, p.Index, p.Size, p.Path)
+	return ok && r == p.Root
+}
+
+// rootFromPath folds the audit path mirroring authPath's recursion.
+func rootFromPath(leaf Hash, index, size uint64, path []Hash) (Hash, bool) {
+	if size == 0 || index >= size {
+		return Hash{}, false
+	}
+	if size == 1 {
+		return leaf, len(path) == 0
+	}
+	if len(path) == 0 {
+		return Hash{}, false
+	}
+	sib := path[len(path)-1]
+	k := uint64(splitPoint(int(size)))
+	if index < k {
+		sub, ok := rootFromPath(leaf, index, k, path[:len(path)-1])
+		if !ok {
+			return Hash{}, false
+		}
+		return nodeHash(sub, sib), true
+	}
+	sub, ok := rootFromPath(leaf, index-k, size-k, path[:len(path)-1])
+	if !ok {
+		return Hash{}, false
+	}
+	return nodeHash(sib, sub), true
+}

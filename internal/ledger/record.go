@@ -1,0 +1,89 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Record is one durably committed budget spend: the caller's API key charged
+// Eps for a release of Dataset through Mechanism. Seq is the record's 1-based
+// position in the ledger, assigned by the store at commit; replay yields
+// records with Seq set, and the canonical encoding includes it, so a record's
+// Merkle leaf commits to its position as well as its content.
+type Record struct {
+	Seq       uint64
+	Key       string
+	Dataset   string
+	Mechanism string
+	Eps       float64
+}
+
+// maxRecordBytes bounds one encoded record. Keys are capped at the serving
+// layer and dataset/mechanism names are registry constants, so a frame
+// claiming a larger payload can only be corruption.
+const maxRecordBytes = 4096
+
+// AppendRecord appends r's canonical binary encoding to buf and returns the
+// extended slice. The encoding is deterministic — uvarint-length-prefixed
+// strings and big-endian IEEE 754 bits for the epsilon — and is used both as
+// the WAL frame payload and as the Merkle leaf, so an offline verifier can
+// reconstruct a leaf from the record fields alone.
+func AppendRecord(buf []byte, r Record) []byte {
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = appendString(buf, r.Key)
+	buf = appendString(buf, r.Dataset)
+	buf = appendString(buf, r.Mechanism)
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(r.Eps))
+}
+
+// EncodeRecord returns r's canonical binary encoding.
+func EncodeRecord(r Record) []byte { return AppendRecord(nil, r) }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeRecord parses a canonical record encoding. The whole buffer must be
+// consumed: trailing bytes mean the frame length and the payload disagree.
+func DecodeRecord(b []byte) (Record, error) {
+	var r Record
+	var err error
+	if r.Seq, b, err = readUvarint(b); err != nil {
+		return r, fmt.Errorf("ledger: record seq: %w", err)
+	}
+	if r.Key, b, err = readString(b); err != nil {
+		return r, fmt.Errorf("ledger: record key: %w", err)
+	}
+	if r.Dataset, b, err = readString(b); err != nil {
+		return r, fmt.Errorf("ledger: record dataset: %w", err)
+	}
+	if r.Mechanism, b, err = readString(b); err != nil {
+		return r, fmt.Errorf("ledger: record mechanism: %w", err)
+	}
+	if len(b) != 8 {
+		return r, fmt.Errorf("ledger: record epsilon: %d bytes left, want 8", len(b))
+	}
+	r.Eps = math.Float64frombits(binary.BigEndian.Uint64(b))
+	return r, nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, rest, err := readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("string length %d exceeds remaining %d bytes", n, len(rest))
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,0 +1,89 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sentinel errors for programmatic handling by the serving layer.
+var (
+	// ErrUnavailable marks a store whose durable medium failed. Stores are
+	// fail-closed: once an Append errors, every later Append wraps this
+	// sentinel, so a caller can distinguish "out of budget" from "cannot
+	// durably record" and refuse service (HTTP 503) on the latter.
+	ErrUnavailable = errors.New("ledger store unavailable")
+	// ErrCorrupt marks a log whose committed prefix is structurally invalid
+	// in a way no crash can produce (a CRC-valid record at the wrong
+	// sequence position, a foreign file header) — evidence of tampering, not
+	// of a torn write, so recovery refuses rather than truncates.
+	ErrCorrupt = errors.New("ledger store corrupt")
+	// ErrClosed marks a submission to a closed store or batcher.
+	ErrClosed = errors.New("ledger store closed")
+)
+
+// Store is the pluggable ledger store (the LedgerStore interface): a durable,
+// append-only commit log of spend records.
+//
+// Append durably commits the batch and returns the 1-based sequence number
+// assigned to the first record (the rest follow contiguously); when it
+// returns, every record in the batch is recoverable by a later Replay even
+// across a crash. Implementations are fail-closed: after any Append error,
+// all subsequent Appends fail with ErrUnavailable. Replay streams every
+// committed record in sequence order and must not run concurrently with
+// Append — the serving layer replays once, at startup, before taking
+// traffic. Close releases the underlying medium; Append after Close returns
+// ErrClosed.
+type Store interface {
+	Append(batch []Record) (firstSeq uint64, err error)
+	Replay(fn func(Record) error) error
+	Close() error
+}
+
+// MemStore is the in-memory Store: the existing non-durable accounting path
+// expressed behind the interface. It is the reference implementation for
+// tests and single-process tooling; a restart loses it by construction.
+type MemStore struct {
+	mu     sync.Mutex
+	recs   []Record
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (m *MemStore) Append(batch []Record) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, fmt.Errorf("ledger: memory append: %w", ErrClosed)
+	}
+	first := uint64(len(m.recs)) + 1
+	for i, r := range batch {
+		r.Seq = first + uint64(i)
+		m.recs = append(m.recs, r)
+	}
+	return first, nil
+}
+
+// Replay implements Store.
+func (m *MemStore) Replay(fn func(Record) error) error {
+	m.mu.Lock()
+	recs := m.recs[:len(m.recs):len(m.recs)]
+	m.mu.Unlock()
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

@@ -1,0 +1,284 @@
+package ledger
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestWAL(t *testing.T, path string) *WAL {
+	t.Helper()
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("OpenWAL(%s): %v", path, err)
+	}
+	return w
+}
+
+func walRecords(t *testing.T, w *WAL) []Record {
+	t.Helper()
+	var out []Record
+	if err := w.Replay(func(r Record) error { out = append(out, r); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestWALAppendReplayAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spend.wal")
+	w := openTestWAL(t, path)
+	want := []Record{
+		{Key: "alice", Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.1},
+		{Key: "bob", Dataset: "ADULT", Mechanism: "HB", Eps: 0.05},
+		{Key: "alice", Dataset: "TRACE", Mechanism: "IDENTITY", Eps: 0.2},
+	}
+	if first, err := w.Append(want[:2]); err != nil || first != 1 {
+		t.Fatalf("Append batch 1: first=%d err=%v", first, err)
+	}
+	if first, err := w.Append(want[2:]); err != nil || first != 3 {
+		t.Fatalf("Append batch 2: first=%d err=%v", first, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w = openTestWAL(t, path)
+	defer w.Close()
+	if rec, torn := w.Recovered(); rec != 3 || torn != 0 {
+		t.Fatalf("Recovered() = (%d, %d), want (3, 0)", rec, torn)
+	}
+	got := walRecords(t, w)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		exp := want[i]
+		exp.Seq = uint64(i) + 1
+		if r != exp {
+			t.Errorf("record %d: got %+v, want %+v", i, r, exp)
+		}
+	}
+	// Appends continue the recovered sequence.
+	if first, err := w.Append([]Record{{Key: "carol", Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.1}}); err != nil || first != 4 {
+		t.Fatalf("post-recovery Append: first=%d err=%v, want 4", first, err)
+	}
+}
+
+// TestWALCrashRecoveryEveryTruncationPoint is the crash-recovery property
+// test: write K spends, then simulate a crash at EVERY byte offset of the
+// file — including mid-header and mid-frame — and assert the reopened log
+// recovers exactly the records whose frames are wholly within the surviving
+// prefix, discarding the torn tail.
+func TestWALCrashRecoveryEveryTruncationPoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spend.wal")
+	w := openTestWAL(t, path)
+	const K = 5
+	// boundaries[i] is the committed file length after i records.
+	boundaries := make([]int64, K+1)
+	boundaries[0] = int64(len(walHeader))
+	for i := 1; i <= K; i++ {
+		if _, err := w.Append([]Record{{Key: "k", Dataset: "ADULT", Mechanism: "DAWA", Eps: float64(i) / 10}}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries[i] = info.Size()
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		torn := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(torn, full[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		// The durable prefix: every record whose frame ends at or before cut.
+		wantRecs := 0
+		for wantRecs < K && boundaries[wantRecs+1] <= cut {
+			wantRecs++
+		}
+		tw, err := OpenWAL(torn)
+		if err != nil {
+			t.Fatalf("cut %d: OpenWAL: %v", cut, err)
+		}
+		gotRecs, gotTorn := tw.Recovered()
+		if gotRecs != uint64(wantRecs) {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, gotRecs, wantRecs)
+		}
+		// Bytes past the last whole frame are discarded (for a cut inside the
+		// header the whole file is rewritten, so everything counts as torn).
+		wantTorn := cut - boundaries[wantRecs]
+		if cut < int64(len(walHeader)) {
+			wantTorn = cut
+		}
+		if gotTorn != wantTorn {
+			t.Fatalf("cut %d: truncated %d bytes, want %d", cut, gotTorn, wantTorn)
+		}
+		var total float64
+		recs := walRecords(t, tw)
+		for i, r := range recs {
+			if r.Seq != uint64(i)+1 {
+				t.Fatalf("cut %d: record %d has seq %d", cut, i, r.Seq)
+			}
+			total += r.Eps
+		}
+		wantTotal := 0.0
+		for i := 1; i <= wantRecs; i++ {
+			wantTotal += float64(i) / 10
+		}
+		if total != wantTotal {
+			t.Fatalf("cut %d: recovered total %v, want %v", cut, total, wantTotal)
+		}
+		// The truncated log accepts new appends at the recovered sequence.
+		if first, err := tw.Append([]Record{{Key: "k", Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.1}}); err != nil || first != uint64(wantRecs)+1 {
+			t.Fatalf("cut %d: post-recovery Append: first=%d err=%v, want %d", cut, first, err, wantRecs+1)
+		}
+		tw.Close()
+	}
+}
+
+// TestWALTamperDetection pins the ErrCorrupt posture: states no crash can
+// produce — a foreign header, or CRC-valid records at the wrong positions —
+// refuse to open rather than silently truncating.
+func TestWALTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("foreign file", func(t *testing.T) {
+		path := filepath.Join(dir, "foreign.wal")
+		if err := os.WriteFile(path, []byte("definitely not a wal file"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenWAL(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("OpenWAL on a foreign file: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("spliced frames", func(t *testing.T) {
+		path := filepath.Join(dir, "spliced.wal")
+		w := openTestWAL(t, path)
+		// Two identically sized records, so the frames can be swapped byte
+		// for byte: both stay CRC-valid, but their sequence numbers no
+		// longer match their positions.
+		if _, err := w.Append([]Record{
+			{Key: "aa", Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.1},
+			{Key: "bb", Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := b[len(walHeader):]
+		if len(frames)%2 != 0 {
+			t.Fatalf("frames not evenly sized: %d bytes", len(frames))
+		}
+		half := len(frames) / 2
+		swapped := append([]byte{}, b[:len(walHeader)]...)
+		swapped = append(swapped, frames[half:]...)
+		swapped = append(swapped, frames[:half]...)
+		if err := os.WriteFile(path, swapped, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenWAL(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("OpenWAL on a spliced log: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("mid-log byte flip", func(t *testing.T) {
+		// Flipping a byte inside an interior record leaves intact frames
+		// after the damage — a state no torn final append can produce.
+		// Truncating here would silently forget committed spends, so
+		// recovery must refuse instead.
+		path := filepath.Join(dir, "midflip.wal")
+		w := openTestWAL(t, path)
+		for i := 0; i < 3; i++ {
+			if _, err := w.Append([]Record{{Key: "k", Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		flipByteAt(t, path, int64(len(walHeader))+frameHeaderLen+2)
+		if _, err := OpenWAL(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("OpenWAL on a mid-log flip: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("final-record byte flip truncates as torn", func(t *testing.T) {
+		// The same flip in the *last* record is indistinguishable from a
+		// torn write, so recovery keeps the intact prefix and truncates.
+		// Tamper evidence for the tail comes from the published Merkle
+		// root, not the file.
+		path := filepath.Join(dir, "tailflip.wal")
+		w := openTestWAL(t, path)
+		var lastStart int64
+		for i := 0; i < 3; i++ {
+			lastStart = w.size
+			if _, err := w.Append([]Record{{Key: "k", Dataset: "ADULT", Mechanism: "DAWA", Eps: 0.1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		flipByteAt(t, path, lastStart+frameHeaderLen+2)
+		w2, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("OpenWAL after tail flip: %v", err)
+		}
+		defer w2.Close()
+		records, truncated := w2.Recovered()
+		if records != 2 || truncated == 0 {
+			t.Fatalf("Recovered() = (%d, %d), want 2 records and a truncated tail", records, truncated)
+		}
+	})
+}
+
+// flipByteAt XORs the byte at offset with 0xff.
+func flipByteAt(t *testing.T, path string, offset int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], offset); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALAppendAfterCloseAndOversize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spend.wal")
+	w := openTestWAL(t, path)
+	// A record that encodes past maxRecordBytes is refused before any write,
+	// and the refusal is not sticky: the medium did nothing wrong.
+	huge := Record{Key: string(make([]byte, maxRecordBytes)), Dataset: "d", Mechanism: "m"}
+	if _, err := w.Append([]Record{huge}); err == nil {
+		t.Fatal("oversized record committed")
+	}
+	if _, err := w.Append([]Record{{Key: "k", Dataset: "d", Mechanism: "m", Eps: 0.1}}); err != nil {
+		t.Fatalf("append after oversize refusal: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := w.Append([]Record{{Key: "k"}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+}

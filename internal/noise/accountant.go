@@ -19,6 +19,12 @@ var (
 	// declared composition: an undeclared label, or spends that do not sum
 	// to the trial's epsilon.
 	ErrCompositionViolation = errors.New("composition plan violated")
+	// ErrCommitFailed marks a spend whose durable commit hook failed: the
+	// charge is recorded in memory (over-reporting is always privacy-safe)
+	// but nothing may be released against it, because a crash would lose the
+	// only evidence the budget was spent. The serving layer maps it to HTTP
+	// 503 and reports a degraded /healthz.
+	ErrCommitFailed = errors.New("durable spend commit failed")
 )
 
 // Accountant tracks a privacy budget under sequential composition (Section
@@ -36,7 +42,22 @@ type Accountant struct {
 	// parallel scope, so SpendParallel charges in O(1) instead of rescanning
 	// the whole ledger (previously O(n) per spend, O(n^2) per run).
 	parMax map[string]float64
+	// retain controls whether every spend is appended to the ledger history.
+	// Audit needs the full history; a long-lived serving accountant does not
+	// — its history would grow by one Spend per request forever — so the
+	// serving layer keeps only the O(1) running totals unless audit is on.
+	retain bool
+	// commitFn, when set, durably records each sequential spend before
+	// SpendDurable returns (see SetCommitFunc).
+	commitFn CommitFunc
 }
+
+// CommitFunc durably commits one spend, returning the 1-based sequence
+// number the durable ledger assigned to it. It is called by SpendDurable
+// after the in-memory charge is recorded, outside the accountant's lock, so
+// a slow commit (a group-commit fsync) blocks only the calling request — a
+// concurrent spend on the same accountant proceeds to its own commit.
+type CommitFunc func(s Spend) (seq uint64, err error)
 
 // Spend is one recorded budget expenditure.
 type Spend struct {
@@ -63,18 +84,92 @@ func NewAccountant(total float64) (*Accountant, error) {
 
 // Reset clears all recorded spends and re-arms the accountant for a new total
 // budget, retaining the ledger's capacity so pooled reuse appends without
-// allocating.
+// allocating. History retention is re-enabled and any commit hook dropped:
+// pooled accountants serve the audit path, which needs the full ledger and
+// no durability.
 func (a *Accountant) Reset(total float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.total = total
 	a.spent = 0
 	a.spends = a.spends[:0]
+	a.retain = true
+	a.commitFn = nil
 	if a.parMax == nil {
 		a.parMax = make(map[string]float64)
 	} else {
 		clear(a.parMax)
 	}
+}
+
+// SetRetainHistory controls whether spends are appended to the ledger
+// history (the default). With retention off the accountant keeps only its
+// O(1) running totals — Ledger returns nil — which is what a long-lived
+// serving accountant wants: its history would otherwise grow by one Spend
+// per request for the life of the process. Audit paths require retention.
+func (a *Accountant) SetRetainHistory(v bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.retain = v
+	if !v {
+		a.spends = nil
+	}
+}
+
+// SetCommitFunc installs the durable commit hook consumed by SpendDurable.
+// It must be called before the accountant is shared across goroutines (the
+// serving layer installs it when the accountant is minted); the hook itself
+// must be safe for concurrent calls.
+func (a *Accountant) SetCommitFunc(fn CommitFunc) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.commitFn = fn
+}
+
+// SpendDurable is Spend followed by the accountant's durable commit hook:
+// when a commit hook is installed, the spend is handed to it after the
+// in-memory charge succeeds, and the hook's assigned sequence number is
+// returned once the spend is durably recorded. A hook failure returns an
+// error wrapping ErrCommitFailed; the in-memory charge stays recorded —
+// over-reporting a spend is always privacy-safe, and the caller must fail
+// closed (refuse the release) because after a restart only durably committed
+// charges are recovered. Without a hook it behaves exactly like Spend and
+// returns sequence 0.
+func (a *Accountant) SpendDurable(label string, eps float64) (uint64, error) {
+	if err := a.spend(label, eps, false); err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	fn := a.commitFn
+	a.mu.Unlock()
+	if fn == nil {
+		return 0, nil
+	}
+	seq, err := fn(Spend{Label: label, Eps: eps})
+	if err != nil {
+		return 0, fmt.Errorf("noise: %w: %w", ErrCommitFailed, err)
+	}
+	return seq, nil
+}
+
+// Restore force-applies a recovered spend: no budget check and no commit
+// hook, because the spend already passed both when it was first committed —
+// recovery's job is to reproduce the recorded history exactly, even if a
+// configuration change (a lowered total budget) means the history now
+// exceeds the total. Subsequent regular spends still enforce the current
+// total, so an over-budget recovered ledger simply refuses further charges.
+func (a *Accountant) Restore(label string, eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("noise: negative restored spend %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent += eps
+	delete(a.parMax, label)
+	if a.retain {
+		a.spends = append(a.spends, Spend{Label: label, Eps: eps})
+	}
+	return nil
 }
 
 // Spend consumes eps from the budget for a sequentially composed subroutine.
@@ -133,7 +228,9 @@ func (a *Accountant) spend(label string, eps float64, parallel bool) error {
 		// A sequential spend with the same label ends the parallel scope.
 		delete(a.parMax, label)
 	}
-	a.spends = append(a.spends, Spend{Label: label, Eps: eps, Parallel: parallel})
+	if a.retain {
+		a.spends = append(a.spends, Spend{Label: label, Eps: eps, Parallel: parallel})
+	}
 	return nil
 }
 
@@ -151,7 +248,8 @@ func (a *Accountant) Remaining() float64 {
 	return a.total - a.spent
 }
 
-// Ledger returns a copy of all recorded spends in order.
+// Ledger returns a copy of all recorded spends in order, or nil when
+// history retention is off (SetRetainHistory).
 func (a *Accountant) Ledger() []Spend {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -31,6 +31,7 @@ import (
 
 	"dpbench/internal/algo"
 	"dpbench/internal/dataset"
+	"dpbench/internal/ledger"
 	"dpbench/internal/noise"
 	"dpbench/internal/workload"
 )
@@ -116,6 +117,24 @@ type Config struct {
 	// sampler; SamplerFast serves the table-accelerated family. Both sample
 	// the same distributions, so the served privacy guarantees are identical.
 	Sampler noise.SamplerVersion
+	// LedgerPath, when non-empty, backs every budget charge with an
+	// append-only, tamper-evident WAL at this path (the -ledger CLI flag):
+	// spends are group-committed with an fsync before any noise is drawn,
+	// startup replays the log so a restart preserves every charge, and
+	// committed spends are chained into a Merkle root published at /v1/root
+	// with per-record inclusion proofs at /v1/proof. On a store write
+	// failure the server fails closed: the request gets 503 and /healthz
+	// reports degraded. Empty (the default) keeps accounting purely
+	// in-memory — the existing behavior, bit-identical.
+	LedgerPath string
+	// LedgerStore injects a ledger store directly (tests, fault injection,
+	// alternative backends). Mutually exclusive with LedgerPath.
+	LedgerStore ledger.Store
+	// Audit retains every accountant's full per-spend history (the -audit
+	// serve flag). Off by default: a serving ledger otherwise grows by one
+	// record per request for the life of the process, so without audit the
+	// accountants keep only O(1) running totals.
+	Audit bool
 }
 
 // cell is one precompiled (dataset, mechanism, epsilon) release pipeline.
@@ -154,6 +173,12 @@ type Server struct {
 	// dsBudgets caps the epsilon spent per dataset across all keys, so
 	// minting fresh keys cannot buy unbounded releases of the same data.
 	dsBudgets map[string]*noise.Accountant
+
+	// ledger is the durable, tamper-evident spend store (nil when the
+	// server runs with purely in-memory accounting, the default).
+	ledger    *durableLedger
+	closeOnce sync.Once
+	closeErr  error
 
 	mux *http.ServeMux
 }
@@ -214,6 +239,10 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: dataset budget: %w", err)
 		}
+		// Same retention policy as the key ledgers: without -audit the
+		// dataset accountant keeps O(1) running totals, not one Spend per
+		// request forever.
+		s.dsBudgets[ds.Name].SetRetainHistory(cfg.Audit)
 		var dims []int
 		if ds.Dim == 1 {
 			dims = []int{cfg.Domain1D}
@@ -271,16 +300,36 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: no (dataset, mechanism) pair is dimension-compatible; nothing to serve")
 	}
 
+	// Durable ledger (optional): open, replay into the accountants built
+	// above, and start the group-commit loop — before the mux exists, so no
+	// request can race recovery.
+	if err := s.openLedger(); err != nil {
+		return nil, err
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/mechanisms", s.handleMechanisms)
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /v1/budget", s.handleBudget)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /v1/root", s.handleRoot)
+	s.mux.HandleFunc("GET /v1/proof", s.handleProof)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
+}
+
+// handleHealthz reports liveness — and, when a durable ledger is configured,
+// whether the store has failed. A degraded server still answers read-only
+// endpoints but fails every spend closed with 503, so health checkers can
+// rotate it out while committed state stays inspectable.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.ledgerErr(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: ledger store failed: %v\n", err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
 }
 
 // Handler returns the server's HTTP handler.
@@ -310,7 +359,7 @@ func (s *Server) accountant(key string) (*noise.Accountant, error) {
 		if len(s.keys) >= maxMintedKeys {
 			return nil, fmt.Errorf("key table full: %d keys already minted", maxMintedKeys)
 		}
-		a, _ = noise.NewAccountant(s.cfg.KeyBudget) // KeyBudget validated positive in New
+		a = s.mintAccountant(key)
 		s.keys[key] = a
 	}
 	return a, nil
@@ -373,6 +422,10 @@ type QueryResponse struct {
 	// Spent and Remaining report the key's ledger after this release.
 	Spent     float64 `json:"spent"`
 	Remaining float64 `json:"remaining"`
+	// Seq is the 1-based durable-ledger sequence number of this release's
+	// committed spend; pass it to GET /v1/proof?seq=N for an inclusion proof.
+	// Omitted when the server runs without a durable ledger.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx reply.
@@ -440,10 +493,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "cannot mint key %q: %v", req.Key, err)
 		return
 	}
-	if err := acct.Spend("query "+req.Dataset+"/"+req.Mechanism, req.Epsilon); err != nil {
+	seq, err := acct.SpendDurable("query "+req.Dataset+"/"+req.Mechanism, req.Epsilon)
+	if err != nil {
 		if errors.Is(err, noise.ErrBudgetExhausted) {
 			writeError(w, http.StatusTooManyRequests,
 				"privacy budget exhausted for key %q: spent %g of %g, query needs %g", req.Key, acct.Spent(), s.cfg.KeyBudget, req.Epsilon)
+			return
+		}
+		if errors.Is(err, noise.ErrCommitFailed) {
+			// Fail closed: the spend could not be made durable, so no noise
+			// may be drawn against it — a crash would lose the only evidence
+			// the budget was spent. /healthz now reports degraded.
+			writeError(w, http.StatusServiceUnavailable, "budget commit failed, no release performed (server degraded): %v", err)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "budget charge failed: %v", err)
@@ -489,6 +550,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Answers:   answers,
 		Spent:     acct.Spent(),
 		Remaining: acct.Remaining(),
+		Seq:       seq,
 	})
 }
 

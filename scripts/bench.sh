@@ -6,13 +6,17 @@
 # committed BENCH_*.json and prints per-benchmark time/alloc deltas.
 #
 # The suite covers every package, including the serving layer's end-to-end
-# request-throughput benchmark (BenchmarkServeQuery in internal/serve).
+# request-throughput benchmarks (BenchmarkServeQuery and its WAL-backed
+# sibling BenchmarkServeQueryDurable in internal/serve) and the durable
+# ledger's group-commit amortization pair (BenchmarkWALAppendSerial vs
+# BenchmarkBatcherSubmitWAL in internal/ledger).
 #
 # Usage:
 #   scripts/bench.sh                 # full suite, default benchtime
 #   BENCHTIME=10x scripts/bench.sh   # bound per-benchmark iterations
 #   BENCH='AlgoMWEM|SweepSerial' scripts/bench.sh   # subset
-#   BENCH=ServeQuery scripts/bench.sh               # serving hot path only
+#   BENCH=ServeQuery scripts/bench.sh               # serving hot path (both
+#                                                   # in-memory and durable)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
