@@ -1,4 +1,4 @@
-// Command dpbench-lint runs the dpbench static-analysis suite: the five
+// Command dpbench-lint runs the dpbench static-analysis suite: the eight
 // analyzers under internal/analysis that enforce the privacy-budget and
 // determinism invariants at compile time (see internal/analysis/doc.go).
 //
@@ -28,6 +28,7 @@ import (
 	"dpbench/internal/analysis/budgetlabel"
 	"dpbench/internal/analysis/determinism"
 	"dpbench/internal/analysis/driver"
+	"dpbench/internal/analysis/epsflow"
 	"dpbench/internal/analysis/internalboundary"
 	"dpbench/internal/analysis/load"
 	"dpbench/internal/analysis/noisegate"
@@ -43,6 +44,7 @@ var analyzers = []*analysis.Analyzer{
 	internalboundary.Analyzer,
 	privtaint.Analyzer,
 	allocfree.Analyzer,
+	epsflow.Analyzer,
 }
 
 func main() {

@@ -328,6 +328,10 @@ func (p *dawaPlan) partition(sc *dawaScratch, m *noise.Meter) []int {
 			costs[i] = p.cands[i].dev + m.LaplacePar("part-all", p.allNoise, p.eps1)
 		}
 	} else {
+		// Each dyadic level present in the candidate set is one parallel
+		// scope of epsLevel; the phantom levels of a non-power-of-two
+		// domain are the forfeit, charged separately below.
+		//dp:spends p.eps1 - p.forfeit
 		for i := range p.cands {
 			c := p.cands[i].dev + m.LaplacePar(idxLabel(partLevelLabels, int(p.cands[i].level)), p.costNoise, p.epsLevel)
 			// Deviation costs are non-negative by construction; clamping

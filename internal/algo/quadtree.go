@@ -184,6 +184,11 @@ func (t *HybridTree) CompositionPlan() noise.Plan {
 // current kd depth is kdTotal-kdLeft. When a branch bottoms out early its
 // remaining per-level allocations are charged as forfeits, keeping every kd
 // scope at exactly epsLevel even if no region at that depth draws.
+//
+// Sibling subtrees split disjoint regions, so their equal charges share the
+// per-level parallel scopes rather than summing.
+//
+//dp:spends par float64(kdLeft) * epsLevel
 func (t *HybridTree) buildKD(data []float64, nx int, r tree.Rect, kdLeft, kdTotal, heightLeft int, epsLevel float64, m *noise.Meter) *tree.Node {
 	w, h := r.X1-r.X0, r.Y1-r.Y0
 	if kdLeft == 0 || heightLeft <= 1 || (w == 1 && h == 1) {

@@ -11,6 +11,7 @@ import (
 // diagnostics come from running the compiler over the directory, so the
 // package must be buildable in place.
 func TestAllocfree(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "hot"),
 		"dpbench/internal/analysis/allocfree/testdata/src/hot")
 }

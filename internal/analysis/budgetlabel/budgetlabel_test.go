@@ -8,11 +8,13 @@ import (
 )
 
 func TestBudgetLabel(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
 }
 
 // TestOpenPlan pins the conservative path: a mechanism whose plan is built
 // dynamically cannot be checked statically, so its spends are not flagged.
 func TestOpenPlan(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "openplan"), "dpbench/internal/algo")
 }

@@ -60,6 +60,11 @@ func (e *Engine) evalCall(f *Func, call *ast.CallExpr) Val {
 			e.raiseBits(&f.sum.RespSink, facts.Args[idx].Deps)
 		}
 	}
+	for _, idx := range facts.Effect.LedgerSinkArgs {
+		if idx < len(facts.Args) {
+			e.raiseBits(&f.sum.LedgerSink, facts.Args[idx].Deps)
+		}
+	}
 	// Branch taint crossing the call: symbolic part into our summary.
 	for i, av := range facts.Args {
 		if facts.BranchArgs&(1<<uint(i)) != 0 {
@@ -193,6 +198,7 @@ func (e *Engine) resolveSummary(cf *Func, args []Val) Effect {
 	// symbolic part is threaded (done by evalCall through ErrSinkArgs).
 	eff.ErrSinkArgs = bitsToIdx(cf.sum.ErrSink, len(args))
 	eff.RespSinkArgs = bitsToIdx(cf.sum.RespSink, len(args))
+	eff.LedgerSinkArgs = bitsToIdx(cf.sum.LedgerSink, len(args))
 	return eff
 }
 

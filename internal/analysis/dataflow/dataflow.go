@@ -165,6 +165,9 @@ type Effect struct {
 	ErrSinkArgs []int
 	// RespSinkArgs lists arguments written to a client-visible response.
 	RespSinkArgs []int
+	// LedgerSinkArgs lists arguments committed to the durable budget
+	// ledger (WAL frames, Merkle leaves, proof responses).
+	LedgerSinkArgs []int
 }
 
 // Model supplies the analyzer-specific domain knowledge.
@@ -196,9 +199,11 @@ type Summary struct {
 	// Branch is the set of parameters feeding branch conditions.
 	Branch uint64
 	// ErrSink is the set of parameters reaching an error-construction
-	// sink; RespSink the set reaching a response-writer sink.
-	ErrSink  uint64
-	RespSink uint64
+	// sink; RespSink the set reaching a response-writer sink; LedgerSink
+	// the set committed to the durable budget ledger.
+	ErrSink    uint64
+	RespSink   uint64
+	LedgerSink uint64
 }
 
 // Func is one analyzed function declaration.

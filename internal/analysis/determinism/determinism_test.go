@@ -8,9 +8,11 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/core")
 }
 
 func TestOutOfScope(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "outofscope"), "dpbench/internal/dataset")
 }

@@ -1,4 +1,4 @@
-// Doc.go records the seven invariants dpbench-lint enforces at compile time
+// Doc.go records the eight invariants dpbench-lint enforces at compile time
 // and the escape hatches for audited exceptions. The authoritative wording
 // of each invariant lives on the Analyzer.Doc of the subpackages; this file
 // is the map.
@@ -13,7 +13,7 @@
 // fails — at best — in a later runtime audit or a golden diff. The
 // analyzers turn that whole bug class into a build failure.
 //
-// # The seven analyzers
+// # The eight analyzers
 //
 //   - noisegate (internal/analysis/noisegate): inside dpbench/internal/algo,
 //     privacy-relevant randomness must flow through an accountant-backed
@@ -58,8 +58,12 @@
 //     internal/analysis/dataflow. Values derived from the private histogram
 //     (vec.Vector and anything arithmetic touches) must cross an
 //     accountant-metered noise draw before reaching Execute's output
-//     buffer, an error string, an HTTP response, or — in Execute-phase and
-//     serve code — a branch condition. An example finding:
+//     buffer, an error string, an HTTP response, the durable budget
+//     ledger's commit surface (internal/ledger's AppendRecord /
+//     EncodeRecord / Tree.Append / Batcher.Submit / Store.Append — leaves
+//     and records are republished verbatim by /v1/root and /v1/proof), or
+//     — in Execute-phase and serve code — a branch condition. An example
+//     finding:
 //
 //     php.go:187: privtaint: private value passed to abs feeds a branch
 //     condition inside it: data-dependent control flow in the execute
@@ -85,6 +89,40 @@
 //     to the span check, so helpers that join the contract must be
 //     annotated themselves.
 //
+//   - epsflow (internal/analysis/epsflow): the budget identity itself,
+//     proved symbolically. For every mechanism in dpbench/internal/algo —
+//     recognized by its Plan(..., eps float64) (plan, error) / Execute(m
+//     *noise.Meter, ...) pair — epsflow abstractly interprets the Plan body
+//     with epsilon as a symbolic variable, carries the resulting plan into
+//     Execute, and tracks every meter charge as an exact linear expression
+//     in eps (big.Rat coefficients, so eps/3 + 2*eps/3 is exactly eps).
+//     Sequential charges add, parallel charges (ChargePar, SubParEps) max,
+//     sub-meters must close back into their parent, and paths join at
+//     branches. On every non-exempt outcome path (exempt: paths that
+//     provably return a non-nil error before spending) the accumulated
+//     total must equal the declared budget exactly — over-spend,
+//     under-spend, and branch-asymmetric spend are all compile failures.
+//     An example finding, from a plan that charges half its budget up
+//     front and then draws at the full rate:
+//
+//     mech.go:47: epsflow: OverMech over-spends: this path charges
+//     3/2*eps of a declared budget eps
+//
+//     Loops the interpreter cannot close (data-dependent trip counts) are
+//     declared with a checked `//dp:spends [par] <expr>` annotation on the
+//     line above the loop: the expression (any linear combination of the
+//     plan's epsilon fields, e.g. `//dp:spends p.eps / 2`) is what the
+//     loop charges in total, `par` marks a parallel-composition loop. The
+//     annotation is verified, not trusted — for closable loops the
+//     declared total is cross-checked against the proven per-iteration
+//     footprint, and for open loops the per-iteration charge must be an
+//     epsilon-free multiple of a single stream so the declared total is
+//     the only free parameter. epsflow is the static complement of the
+//     runtime -audit flag: -audit replays one execution and checks the
+//     ledger for the paths that run; epsflow proves the identity over
+//     every path of every mechanism at compile time, including error
+//     paths and branch arms no audit input exercises.
+//
 // # Escape hatches
 //
 // A finding that is understood and deliberately accepted — for example the
@@ -100,8 +138,10 @@
 // grant that no longer silences anything is itself reported by the driver
 // (pseudo-analyzer "unusedallow"), so stale suppressions cannot accumulate.
 //
-// The two annotations the new analyzers read are affirmative declarations
+// The three annotations the new analyzers read are affirmative declarations
 // rather than suppressions: `//dp:public <why>` declares a value as audited
-// public side information (privtaint), and `//dp:hotpath` declares a
-// zero-allocation contract the compiler is asked to verify (allocfree).
+// public side information (privtaint), `//dp:hotpath` declares a
+// zero-allocation contract the compiler is asked to verify (allocfree), and
+// `//dp:spends [par] <expr>` declares — and submits for verification — the
+// total epsilon a loop charges (epsflow).
 package analysis

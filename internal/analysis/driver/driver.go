@@ -74,6 +74,7 @@ func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 			Message:  fmt.Sprintf("unused //lint:allow %s directive: nothing on this line or the next was silenced — remove it", key.analyzer),
 		})
 	}
+	findings = mergeDuplicates(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -94,6 +95,46 @@ func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 		return findings[i].Message < findings[j].Message
 	})
 	return findings, nil
+}
+
+// mergeDuplicates folds findings that agree on (file, line, col, message)
+// into one finding naming every analyzer that produced it, comma-joined in
+// name order. Two analyzers flagging the same call with the same words is
+// one defect, but dropping either name would hide which invariants it
+// violates — and which //lint:allow grants a suppression needs.
+func mergeDuplicates(findings []Finding) []Finding {
+	type dupKey struct {
+		file      string
+		line, col int
+		message   string
+	}
+	names := map[dupKey][]string{}
+	order := map[dupKey]int{}
+	for i, f := range findings {
+		k := dupKey{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message}
+		if _, seen := names[k]; !seen {
+			order[k] = i
+		}
+		names[k] = append(names[k], f.Analyzer)
+	}
+	var out []Finding
+	for i, f := range findings {
+		k := dupKey{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message}
+		if order[k] != i {
+			continue
+		}
+		ns := names[k]
+		sort.Strings(ns)
+		uniq := ns[:0]
+		for _, n := range ns {
+			if len(uniq) == 0 || uniq[len(uniq)-1] != n {
+				uniq = append(uniq, n)
+			}
+		}
+		f.Analyzer = strings.Join(uniq, ",")
+		out = append(out, f)
+	}
+	return out
 }
 
 // allowKey addresses one (file, line, analyzer) allow grant. A grant on line

@@ -1,0 +1,17 @@
+package epsflow
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dpbench/internal/analysis/analysistest"
+)
+
+// TestEpsflow drives the analyzer over the fixture mechanisms: an exact-sum
+// pass, an over-spend, an under-spend on an early-return path, a
+// branch-asymmetric spend, an open loop closed by //dp:spends, and a wrong
+// //dp:spends annotation being rejected.
+func TestEpsflow(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
+}

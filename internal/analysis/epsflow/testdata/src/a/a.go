@@ -1,0 +1,148 @@
+// Fixture for the epsflow analyzer: six mechanism shapes covering the
+// exact-sum pass, over-spend, under-spend on an early-return path,
+// branch-asymmetric spend, an open loop closed by a //dp:spends annotation,
+// and a wrong annotation being rejected. Each mechanism is a Plan/Execute
+// pair in the shape epsflow pairs up: Plan takes exactly one float64 (the
+// budget) and returns (plan, error); the plan's Execute charges a meter.
+package algo
+
+import "dpbench/internal/noise"
+
+// ExactMech charges its budget in two pieces that sum back to eps on every
+// path: the clean baseline no finding may fire on.
+type ExactMech struct{}
+
+type exactPlan struct {
+	eps, half float64
+}
+
+// Plan splits the budget in half.
+func (g *ExactMech) Plan(n int, eps float64) (*exactPlan, error) {
+	return &exactPlan{eps: eps, half: eps / 2}, nil
+}
+
+// Execute spends the first half drawing and charges the remainder.
+func (p *exactPlan) Execute(m *noise.Meter, out []float64) error {
+	m.Laplace("scale", 1, p.half)
+	m.Charge("rest", p.eps-p.half)
+	return m.Err()
+}
+
+// OverMech charges half the budget twice on top of the full budget.
+type OverMech struct{}
+
+type overPlan struct {
+	eps float64
+}
+
+// Plan keeps the whole budget.
+func (g *OverMech) Plan(n int, eps float64) (*overPlan, error) {
+	return &overPlan{eps: eps}, nil
+}
+
+// Execute spends eps and then another eps/2: a classic double charge.
+func (p *overPlan) Execute(m *noise.Meter, out []float64) error {
+	m.Laplace("scale", 1, p.eps)
+	m.Charge("extra", p.eps/2)
+	return m.Err() // want `OverMech over-spends: this path charges .* of a declared budget eps`
+}
+
+// UnderMech silently wastes half the budget on an early-return path: the
+// bailout returns a nil error after only half the budget is spent, so the
+// path is not exempt and the audit would never see the missing half.
+type UnderMech struct{}
+
+type underPlan struct {
+	eps  float64
+	bail bool
+}
+
+// Plan records a data-dependent bailout flag.
+func (g *UnderMech) Plan(n int, eps float64) (*underPlan, error) {
+	return &underPlan{eps: eps, bail: n > 1}, nil
+}
+
+// Execute spends half, then may give up without charging the rest.
+func (p *underPlan) Execute(m *noise.Meter, out []float64) error {
+	m.Laplace("scale", 1, p.eps/2)
+	if p.bail {
+		return nil // want `UnderMech under-spends: this path charges only .* of a declared budget eps`
+	}
+	m.Charge("rest", p.eps/2)
+	return m.Err()
+}
+
+// BranchMech charges different totals on the two arms of a branch: the wide
+// arm spends exactly eps, the narrow arm only half of it.
+type BranchMech struct{}
+
+type branchPlan struct {
+	eps  float64
+	wide bool
+}
+
+// Plan records the branch selector.
+func (g *BranchMech) Plan(n int, eps float64) (*branchPlan, error) {
+	return &branchPlan{eps: eps, wide: n > 1}, nil
+}
+
+// Execute is exact on one arm and short on the other.
+func (p *branchPlan) Execute(m *noise.Meter, out []float64) error {
+	if p.wide {
+		m.Charge("mass", p.eps)
+	} else {
+		m.Charge("mass", p.eps/2)
+	}
+	return m.Err() // want `BranchMech under-spends: this path charges only .* of a declared budget eps`
+}
+
+// AnnotMech runs a structure-dependent halving loop no abstract trip count
+// can close; the checked //dp:spends annotation declares the loop's total,
+// and epsflow verifies the declared total is an epsilon-free multiple of the
+// per-iteration rate before applying it. Everything sums to eps: clean.
+type AnnotMech struct{}
+
+type annotPlan struct {
+	eps, per float64
+	n        int
+}
+
+// Plan reserves an eighth of the budget per dyadic level.
+func (g *AnnotMech) Plan(n int, eps float64) (*annotPlan, error) {
+	return &annotPlan{eps: eps, per: eps / 8, n: n}, nil
+}
+
+// Execute charges half up front and half across the levels.
+func (p *annotPlan) Execute(m *noise.Meter, out []float64) error {
+	m.Charge("head", p.eps/2)
+	// Four dyadic levels, an eighth each.
+	//dp:spends p.eps / 2
+	for n := p.n; n > 1; n /= 2 {
+		m.Laplace("level", 1, p.per)
+	}
+	return m.Err()
+}
+
+// WrongMech carries a //dp:spends annotation that disagrees with the loop's
+// actual (closable) footprint: the cross-check must reject it even though
+// the mechanism's total happens to come out exact.
+type WrongMech struct{}
+
+type wrongPlan struct {
+	eps float64
+}
+
+// Plan keeps the whole budget.
+func (g *WrongMech) Plan(n int, eps float64) (*wrongPlan, error) {
+	return &wrongPlan{eps: eps}, nil
+}
+
+// Execute declares the loop spends eps when it provably spends eps/2.
+func (p *wrongPlan) Execute(m *noise.Meter, out []float64) error {
+	m.Charge("head", p.eps/2)
+	//dp:spends p.eps
+	for i := 0; i < 4; i++ { // want `loop charges .* but //dp:spends declares .*`
+		m.Laplace("level", 1, p.eps/8)
+	}
+	return m.Err()
+}

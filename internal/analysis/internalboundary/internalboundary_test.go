@@ -8,13 +8,16 @@ import (
 )
 
 func TestBadExample(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "badexample"), "dpbench/examples/bad")
 }
 
 func TestCleanExample(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "cleanexample"), "dpbench/examples/clean")
 }
 
 func TestBadInternal(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "badinternal"), "dpbench/internal/badinternal")
 }

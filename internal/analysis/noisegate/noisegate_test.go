@@ -8,6 +8,7 @@ import (
 )
 
 func TestNoisegate(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
 }
 
@@ -15,5 +16,6 @@ func TestNoisegate(t *testing.T) {
 // same violations under another import path produce no findings (the noise
 // package itself must keep its raw draws).
 func TestOutOfScope(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "outofscope"), "dpbench/internal/experiments")
 }

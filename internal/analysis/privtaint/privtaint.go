@@ -9,7 +9,11 @@
 // (a value that combined with a fresh metered draw is, by definition,
 // released) and callees that receive the meter; sinks are the out buffer
 // of Plan.Execute, error construction (fmt.Errorf / errors.New — an error
-// string is client-visible), HTTP response paths in serve, and — because
+// string is client-visible), HTTP response paths in serve, the durable
+// budget ledger's commit surface in dpbench/internal/ledger (AppendRecord,
+// EncodeRecord, Tree.Append, Batcher.Submit, Store.Append — ledger records
+// and Merkle leaves must carry already-charged request metadata only, since
+// /v1/root and /v1/proof republish them to any caller), and — because
 // data-dependent control flow is a side channel the mechanisms must charge
 // for — branch conditions in Execute-phase code.
 //
@@ -52,9 +56,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 const (
-	algoPkg  = "dpbench/internal/algo"
-	servePkg = "dpbench/internal/serve"
-	vecPkg   = "dpbench/internal/vec"
+	algoPkg   = "dpbench/internal/algo"
+	servePkg  = "dpbench/internal/serve"
+	vecPkg    = "dpbench/internal/vec"
+	ledgerPkg = "dpbench/internal/ledger"
 )
 
 func run(pass *analysis.Pass) error {
@@ -274,6 +279,12 @@ func (r *reporter) checkCall(f *dataflow.Func, call *ast.CallExpr, sinks map[typ
 			break
 		}
 	}
+	for _, idx := range facts.Effect.LedgerSinkArgs {
+		if idx < len(facts.Args) && facts.Args[idx].K == dataflow.Priv {
+			r.pass.Reportf(call.Pos(), "private value reaches the durable budget ledger via %s: ledger records and Merkle leaves carry already-charged request metadata only, and /v1/proof republishes them to any caller", calleeName)
+			break
+		}
+	}
 	if branchScoped && facts.BranchArgs != 0 {
 		for i, av := range facts.Args {
 			if facts.BranchArgs&(1<<uint(i)) != 0 && av.K == dataflow.Priv {
@@ -362,6 +373,9 @@ func (m *model) Call(info *types.Info, call *ast.CallExpr, args []dataflow.Val) 
 	if name, ok := meterapi.MeterMethod(info, call); ok {
 		return meterEffect(name, args), true
 	}
+	if eff, ok := ledgerSinkEffect(info, call, args); ok {
+		return eff, true
+	}
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
 			sig, sigOK := fn.Type().(*types.Signature)
@@ -437,6 +451,52 @@ func meterEffect(name string, args []dataflow.Val) dataflow.Effect {
 	// Everything else (LaplaceVec, LaplaceMechanism, ExpMech*, Sub*,
 	// Charge*, Rand, accessors) returns released or structural values.
 	return dataflow.Effect{}
+}
+
+// ledgerSinkCommits are the internal/ledger entry points whose arguments
+// become durable, tamper-evident state: WAL frames, Merkle leaves, or the
+// records behind them — all of which /v1/root and /v1/proof republish.
+var ledgerSinkCommits = map[string]bool{
+	"AppendRecord": true, // record → canonical leaf encoding
+	"EncodeRecord": true,
+	"Append":       true, // Tree.Append / Store.Append
+	"Submit":       true, // Batcher.Submit
+}
+
+// ledgerSinkEffect classifies calls into internal/ledger's commit surface:
+// every data argument (the receiver — a tree or batcher — is structural) is
+// a ledger sink.
+func ledgerSinkEffect(info *types.Info, call *ast.CallExpr, args []dataflow.Val) (dataflow.Effect, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != ledgerPkg || !ledgerSinkCommits[fn.Name()] {
+		return dataflow.Effect{}, false
+	}
+	from := 0
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		from = 1
+	}
+	// The result (an encoded leaf, a sequence number) inherits the argument
+	// taint so a tainted encoding flagged here stays tainted downstream.
+	var res dataflow.Val
+	for _, a := range args[from:] {
+		res = dataflow.Combine(res, a)
+	}
+	return dataflow.Effect{Result: res, LedgerSinkArgs: argIdxRange(from, len(args))}, true
+}
+
+// calleeFunc resolves a call's static callee function object, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
 }
 
 // isVecType reports whether t is vec.Vector or *vec.Vector.

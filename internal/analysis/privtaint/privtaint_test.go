@@ -8,9 +8,16 @@ import (
 )
 
 func TestPrivtaintAlgo(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
 }
 
 func TestPrivtaintServe(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "serve"), "dpbench/internal/serve")
+}
+
+func TestPrivtaintLedgerSink(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "ledgersink"), "dpbench/internal/serve")
 }

@@ -1,0 +1,44 @@
+// Fixture for privtaint's ledger-sink rules: everything committed to the
+// durable budget ledger — records submitted to the batcher, canonical leaf
+// encodings, Merkle tree appends — is republished by /v1/root and /v1/proof
+// to any caller, so no vec.Vector-derived value may ever reach it.
+package serve
+
+import (
+	"dpbench/internal/ledger"
+	"dpbench/internal/vec"
+)
+
+type accountant struct {
+	x       *vec.Vector
+	batcher *ledger.Batcher
+	tree    *ledger.Tree
+}
+
+// A record whose Eps field is read out of the private histogram leaks one
+// cell of the data into the durable (and publicly provable) spend history.
+func (a *accountant) recordCell(key string) {
+	_, _ = a.batcher.Submit(ledger.Record{Key: key, Eps: a.x.Data[0]}) // want `private value reaches the durable budget ledger via Submit`
+}
+
+// Encoding a private-tainted record builds the canonical leaf bytes that
+// Merkle proofs republish verbatim.
+func (a *accountant) encodeCell(buf []byte) []byte {
+	rec := ledger.Record{Key: "q", Eps: a.x.Data[0]}
+	return ledger.AppendRecord(buf, rec) // want `private value reaches the durable budget ledger via ledger\.AppendRecord`
+}
+
+// Appending a leaf derived from the raw data bakes it into the tree root.
+func (a *accountant) appendCell() {
+	leaf := ledger.EncodeRecord(ledger.Record{Eps: a.x.Data[1]}) // want `private value reaches the durable budget ledger via ledger\.EncodeRecord`
+	a.tree.Append(leaf)                                          // want `private value reaches the durable budget ledger via Append`
+}
+
+// Already-charged request metadata — the key, dataset name, mechanism name,
+// and the epsilon the caller was charged — is exactly what the ledger is
+// for: no finding.
+func (a *accountant) recordCharge(key, dataset, mech string, eps float64) uint64 {
+	seq, _ := a.batcher.Submit(ledger.Record{Key: key, Dataset: dataset, Mechanism: mech, Eps: eps})
+	a.tree.Append(ledger.EncodeRecord(ledger.Record{Seq: seq, Key: key, Eps: eps}))
+	return seq
+}

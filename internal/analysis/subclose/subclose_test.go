@@ -8,5 +8,6 @@ import (
 )
 
 func TestSubclose(t *testing.T) {
+	t.Parallel()
 	analysistest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"), "dpbench/internal/algo")
 }
